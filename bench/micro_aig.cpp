@@ -1,0 +1,73 @@
+// Component micro-benchmark: AIG construction, composition, CNF encoding
+// and bit-parallel simulation.
+#include <benchmark/benchmark.h>
+
+#include "aig/aig.hpp"
+#include "aig/aig_cnf.hpp"
+#include "aig/aig_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using manthan::aig::Aig;
+using manthan::aig::Ref;
+
+Ref random_cone(Aig& m, int inputs, int gates, std::uint64_t seed) {
+  manthan::util::Rng rng(seed);
+  std::vector<Ref> pool;
+  for (int i = 0; i < inputs; ++i) pool.push_back(m.input(i));
+  for (int g = 0; g < gates; ++g) {
+    const Ref a = pool[rng.next_below(pool.size())] ^
+                  static_cast<Ref>(rng.flip());
+    const Ref b = pool[rng.next_below(pool.size())] ^
+                  static_cast<Ref>(rng.flip());
+    pool.push_back(m.and_gate(a, b));
+  }
+  return pool.back();
+}
+
+void BM_AigBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    Aig m;
+    benchmark::DoNotOptimize(
+        random_cone(m, 16, static_cast<int>(state.range(0)), 3));
+  }
+}
+BENCHMARK(BM_AigBuild)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_AigCompose(benchmark::State& state) {
+  Aig m;
+  const Ref f = random_cone(m, 16, 500, 5);
+  const Ref g = random_cone(m, 16, 50, 7);
+  std::unordered_map<std::int32_t, Ref> sub{{0, g}, {3, manthan::aig::ref_not(g)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.compose(f, sub));
+  }
+}
+BENCHMARK(BM_AigCompose);
+
+void BM_AigEncodeCnf(benchmark::State& state) {
+  Aig m;
+  const Ref f = random_cone(m, 16, static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    manthan::cnf::CnfFormula out(16);
+    benchmark::DoNotOptimize(manthan::aig::encode_cone(m, f, out));
+  }
+}
+BENCHMARK(BM_AigEncodeCnf)->Arg(200)->Arg(2000);
+
+void BM_AigSimulate64(benchmark::State& state) {
+  Aig m;
+  const Ref f = random_cone(m, 16, 2000, 11);
+  manthan::util::Rng rng(13);
+  std::unordered_map<std::int32_t, std::uint64_t> patterns;
+  for (int i = 0; i < 16; ++i) patterns[i] = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manthan::aig::simulate64(m, f, patterns));
+  }
+}
+BENCHMARK(BM_AigSimulate64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

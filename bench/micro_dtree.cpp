@@ -1,0 +1,68 @@
+// Component micro-benchmark: decision-tree fitting and AIG extraction at
+// Manthan3-realistic data shapes (hundreds of samples, tens of features).
+#include <benchmark/benchmark.h>
+
+#include "aig/aig.hpp"
+#include "dtree/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using manthan::dtree::DecisionTree;
+using manthan::dtree::DtreeOptions;
+
+struct Data {
+  std::vector<std::vector<bool>> rows;
+  std::vector<bool> labels;
+};
+
+Data make_data(std::size_t samples, std::size_t features,
+               std::uint64_t seed) {
+  manthan::util::Rng rng(seed);
+  Data d;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<bool> row;
+    for (std::size_t f = 0; f < features; ++f) row.push_back(rng.flip());
+    // Label: noisy majority of three features — learnable structure.
+    const int votes = static_cast<int>(row[0]) + static_cast<int>(row[1]) +
+                      static_cast<int>(row[2]);
+    d.labels.push_back(votes >= 2 ? !rng.flip(0.05) : rng.flip(0.05));
+    d.rows.push_back(std::move(row));
+  }
+  return d;
+}
+
+void BM_DtreeFit(benchmark::State& state) {
+  const Data d = make_data(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecisionTree::fit(d.rows, d.labels));
+  }
+}
+BENCHMARK(BM_DtreeFit)->Args({200, 8})->Args({500, 16})->Args({1000, 32});
+
+void BM_DtreeToAig(benchmark::State& state) {
+  const Data d = make_data(500, 16, 13);
+  const DecisionTree tree = DecisionTree::fit(d.rows, d.labels);
+  for (auto _ : state) {
+    manthan::aig::Aig manager;
+    std::vector<manthan::aig::Ref> features;
+    for (int f = 0; f < 16; ++f) features.push_back(manager.input(f));
+    benchmark::DoNotOptimize(tree.to_aig(manager, features));
+  }
+}
+BENCHMARK(BM_DtreeToAig);
+
+void BM_DtreePredict(benchmark::State& state) {
+  const Data d = make_data(1000, 16, 17);
+  const DecisionTree tree = DecisionTree::fit(d.rows, d.labels);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(d.rows[i++ % d.rows.size()]));
+  }
+}
+BENCHMARK(BM_DtreePredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Component micro-benchmark: CDCL solver throughput on random 3-SAT near
+// and away from the phase transition, plus assumption-core extraction.
+#include <benchmark/benchmark.h>
+
+#include "cnf/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using manthan::cnf::CnfFormula;
+using manthan::cnf::Lit;
+using manthan::cnf::Var;
+
+CnfFormula random_3sat(Var num_vars, double ratio, std::uint64_t seed) {
+  manthan::util::Rng rng(seed);
+  CnfFormula f(num_vars);
+  const auto num_clauses = static_cast<std::size_t>(
+      ratio * static_cast<double>(num_vars));
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    manthan::cnf::Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit(static_cast<Var>(rng.next_below(
+                               static_cast<std::uint64_t>(num_vars))),
+                           rng.flip()));
+    }
+    f.add_clause(clause);
+  }
+  return f;
+}
+
+void BM_SatEasy(benchmark::State& state) {
+  const CnfFormula f = random_3sat(static_cast<Var>(state.range(0)), 2.0, 7);
+  for (auto _ : state) {
+    manthan::sat::Solver s;
+    s.add_formula(f);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatEasy)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SatPhaseTransition(benchmark::State& state) {
+  const CnfFormula f =
+      random_3sat(static_cast<Var>(state.range(0)), 4.26, 11);
+  for (auto _ : state) {
+    manthan::sat::Solver s;
+    s.add_formula(f);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPhaseTransition)->Arg(50)->Arg(75)->Arg(100);
+
+void BM_SatAssumptionCores(benchmark::State& state) {
+  const CnfFormula f = random_3sat(60, 3.0, 13);
+  manthan::sat::Solver s;
+  s.add_formula(f);
+  manthan::util::Rng rng(17);
+  for (auto _ : state) {
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < 12; ++v) assumptions.push_back(Lit(v, rng.flip()));
+    benchmark::DoNotOptimize(s.solve(assumptions));
+  }
+}
+BENCHMARK(BM_SatAssumptionCores);
+
+}  // namespace
+
+BENCHMARK_MAIN();

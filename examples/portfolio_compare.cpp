@@ -1,0 +1,33 @@
+// Portfolio comparison on a small suite: runs all three engines under a
+// per-instance budget, prints the per-run table and the headline solved
+// counts — a miniature of the paper's full evaluation (see bench/ for the
+// figure-by-figure reproduction).
+#include <iostream>
+
+#include "portfolio/runner.hpp"
+#include "portfolio/tables.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  manthan::workloads::SuiteParams suite_params;
+  suite_params.scale = 1;
+  const std::vector<manthan::workloads::Instance> suite =
+      manthan::workloads::standard_suite(suite_params);
+  std::cout << "running " << suite.size()
+            << " instances x 3 engines (budget 2 s each)\n\n";
+
+  manthan::portfolio::RunnerOptions options;
+  options.per_instance_seconds = 2.0;
+  manthan::portfolio::Runner runner(options);
+  const std::vector<manthan::portfolio::RunRecord> records =
+      runner.run_suite(suite,
+                       {manthan::portfolio::EngineKind::kManthan3,
+                        manthan::portfolio::EngineKind::kHqsLite,
+                        manthan::portfolio::EngineKind::kPedantLite});
+
+  manthan::portfolio::print_run_records(std::cout, records);
+  std::cout << '\n';
+  manthan::portfolio::print_solved_counts(
+      std::cout, manthan::portfolio::compute_solved_counts(records));
+  return 0;
+}

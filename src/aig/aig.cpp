@@ -1,0 +1,208 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manthan::aig {
+
+Aig::Aig() {
+  nodes_.push_back({});  // node 0: constant false
+}
+
+Ref Aig::input(std::int32_t input_id) {
+  const auto it = input_of_id_.find(input_id);
+  if (it != input_of_id_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.input_id = input_id;
+  nodes_.push_back(n);
+  const Ref r = make_ref(index, false);
+  input_of_id_.emplace(input_id, r);
+  return r;
+}
+
+bool Aig::is_input(Ref r) const {
+  return nodes_[ref_node(r)].input_id >= 0;
+}
+
+std::int32_t Aig::input_id(Ref r) const {
+  assert(is_input(r));
+  return nodes_[ref_node(r)].input_id;
+}
+
+Ref Aig::make_and(Ref a, Ref b) {
+  // Canonical order so that and(a,b) == and(b,a) hash-cons together.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.fanin0 = a;
+  n.fanin1 = b;
+  nodes_.push_back(n);
+  const Ref r = make_ref(index, false);
+  strash_.emplace(key, r);
+  return r;
+}
+
+Ref Aig::and_gate(Ref a, Ref b) {
+  // Constant folding and trivial cases.
+  if (a == kFalseRef || b == kFalseRef) return kFalseRef;
+  if (a == kTrueRef) return b;
+  if (b == kTrueRef) return a;
+  if (a == b) return a;
+  if (a == ref_not(b)) return kFalseRef;
+  return make_and(a, b);
+}
+
+Ref Aig::xor_gate(Ref a, Ref b) {
+  // a ^ b == ~(~(a & ~b) & ~(~a & b))
+  return ref_not(
+      and_gate(ref_not(and_gate(a, ref_not(b))),
+               ref_not(and_gate(ref_not(a), b))));
+}
+
+Ref Aig::ite_gate(Ref c, Ref t, Ref e) {
+  return ref_not(and_gate(ref_not(and_gate(c, t)),
+                          ref_not(and_gate(ref_not(c), e))));
+}
+
+Ref Aig::and_all(const std::vector<Ref>& refs) {
+  if (refs.empty()) return kTrueRef;
+  // Balanced reduction keeps the graph shallow.
+  std::vector<Ref> layer = refs;
+  while (layer.size() > 1) {
+    std::vector<Ref> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(and_gate(layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+Ref Aig::or_all(const std::vector<Ref>& refs) {
+  std::vector<Ref> negated;
+  negated.reserve(refs.size());
+  for (const Ref r : refs) negated.push_back(ref_not(r));
+  return ref_not(and_all(negated));
+}
+
+std::vector<std::uint32_t> cone_topo_order(const Aig& aig, Ref root) {
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> stack{ref_node(root)};
+  std::unordered_map<std::uint32_t, bool> state;  // false=open, true=done
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    const auto it = state.find(n);
+    if (it != state.end() && it->second) {
+      stack.pop_back();
+      continue;
+    }
+    const Aig::Node& node = aig.node(n);
+    const bool is_leaf = node.input_id >= 0 || n == 0;
+    if (it == state.end()) {
+      state.emplace(n, false);
+      if (!is_leaf) {
+        stack.push_back(ref_node(node.fanin0));
+        stack.push_back(ref_node(node.fanin1));
+        continue;
+      }
+    }
+    state[n] = true;
+    order.push_back(n);
+    stack.pop_back();
+  }
+  return order;
+}
+
+Ref Aig::compose(Ref root,
+                 const std::unordered_map<std::int32_t, Ref>& substitution) {
+  const std::vector<std::uint32_t> order = cone_topo_order(*this, root);
+  std::unordered_map<std::uint32_t, Ref> rebuilt;
+  for (const std::uint32_t n : order) {
+    const Node& node = nodes_[n];
+    if (n == 0) {
+      rebuilt[n] = kFalseRef;
+    } else if (node.input_id >= 0) {
+      const auto it = substitution.find(node.input_id);
+      rebuilt[n] = it != substitution.end() ? it->second
+                                            : make_ref(n, false);
+    } else {
+      const Ref f0 = rebuilt[ref_node(node.fanin0)] ^
+                     (ref_complemented(node.fanin0) ? 1u : 0u);
+      const Ref f1 = rebuilt[ref_node(node.fanin1)] ^
+                     (ref_complemented(node.fanin1) ? 1u : 0u);
+      rebuilt[n] = and_gate(f0, f1);
+    }
+  }
+  return rebuilt[ref_node(root)] ^ (ref_complemented(root) ? 1u : 0u);
+}
+
+Ref Aig::cofactor(Ref root, std::int32_t input_id, bool value) {
+  return compose(root, {{input_id, constant(value)}});
+}
+
+std::vector<std::int32_t> Aig::support(Ref root) const {
+  std::vector<std::int32_t> ids;
+  for (const std::uint32_t n : cone_topo_order(*this, root)) {
+    if (nodes_[n].input_id >= 0) ids.push_back(nodes_[n].input_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t Aig::cone_size(Ref root) const {
+  std::size_t count = 0;
+  for (const std::uint32_t n : cone_topo_order(*this, root)) {
+    if (n != 0 && nodes_[n].input_id < 0) ++count;
+  }
+  return count;
+}
+
+bool Aig::evaluate(
+    Ref root, const std::unordered_map<std::int32_t, bool>& inputs) const {
+  std::unordered_map<std::uint32_t, bool> value;
+  for (const std::uint32_t n : cone_topo_order(*this, root)) {
+    const Node& node = nodes_[n];
+    if (n == 0) {
+      value[n] = false;
+    } else if (node.input_id >= 0) {
+      const auto it = inputs.find(node.input_id);
+      assert(it != inputs.end());
+      value[n] = it->second;
+    } else {
+      const bool f0 =
+          value[ref_node(node.fanin0)] != ref_complemented(node.fanin0);
+      const bool f1 =
+          value[ref_node(node.fanin1)] != ref_complemented(node.fanin1);
+      value[n] = f0 && f1;
+    }
+  }
+  return value[ref_node(root)] != ref_complemented(root);
+}
+
+bool Aig::evaluate(Ref root, const cnf::Assignment& a) const {
+  std::unordered_map<std::uint32_t, bool> value;
+  for (const std::uint32_t n : cone_topo_order(*this, root)) {
+    const Node& node = nodes_[n];
+    if (n == 0) {
+      value[n] = false;
+    } else if (node.input_id >= 0) {
+      value[n] = a.value(static_cast<cnf::Var>(node.input_id));
+    } else {
+      const bool f0 =
+          value[ref_node(node.fanin0)] != ref_complemented(node.fanin0);
+      const bool f1 =
+          value[ref_node(node.fanin1)] != ref_complemented(node.fanin1);
+      value[n] = f0 && f1;
+    }
+  }
+  return value[ref_node(root)] != ref_complemented(root);
+}
+
+}  // namespace manthan::aig

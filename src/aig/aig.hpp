@@ -1,0 +1,113 @@
+// And-Inverter Graphs with structural hashing.
+//
+// Role in the paper: ABC — the container in which candidate and final
+// Henkin functions are represented and manipulated. Functions are edges
+// (`Ref`s) into a shared Aig manager; an edge is a node index plus a
+// complementation bit, so negation is free. The manager provides:
+//   * constant folding + structural hashing (two-level canonical ANDs),
+//   * derived gates (or/xor/ite/equiv) on top of AND/NOT,
+//   * composition (substituting functions for inputs) — the Substitute
+//     step of Algorithm 1,
+//   * structural support — used to assert that a synthesized f_i really
+//     only depends on its Henkin set H_i,
+//   * Tseitin CNF encoding (aig_cnf.cpp) for SAT queries over functions,
+//   * 64-way parallel and exhaustive simulation (aig_sim.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+
+namespace manthan::aig {
+
+/// An edge: node index << 1 | complement bit.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kFalseRef = 0;  // node 0, plain
+inline constexpr Ref kTrueRef = 1;   // node 0, complemented
+
+inline constexpr Ref make_ref(std::uint32_t node, bool complemented) {
+  return (node << 1) | (complemented ? 1u : 0u);
+}
+inline constexpr std::uint32_t ref_node(Ref r) { return r >> 1; }
+inline constexpr bool ref_complemented(Ref r) { return (r & 1u) != 0; }
+inline constexpr Ref ref_not(Ref r) { return r ^ 1u; }
+inline constexpr Ref ref_regular(Ref r) { return r & ~1u; }
+
+class Aig {
+ public:
+  Aig();
+
+  /// Edge for a constant.
+  static constexpr Ref constant(bool value) {
+    return value ? kTrueRef : kFalseRef;
+  }
+
+  /// Edge for the primary input identified by `input_id` (created on first
+  /// use). Input ids are caller-chosen; the DQBF layer uses CNF variables.
+  Ref input(std::int32_t input_id);
+
+  /// True iff `r` points at an input node; returns its id via out param.
+  bool is_input(Ref r) const;
+  std::int32_t input_id(Ref r) const;
+
+  // --- gate constructors (hash-consed, constant-folding) ----------------
+  Ref and_gate(Ref a, Ref b);
+  Ref or_gate(Ref a, Ref b) { return ref_not(and_gate(ref_not(a), ref_not(b))); }
+  Ref xor_gate(Ref a, Ref b);
+  Ref equiv_gate(Ref a, Ref b) { return ref_not(xor_gate(a, b)); }
+  Ref ite_gate(Ref c, Ref t, Ref e);
+  Ref implies_gate(Ref a, Ref b) { return or_gate(ref_not(a), b); }
+
+  /// Conjunction / disjunction over a list (balanced reduction).
+  Ref and_all(const std::vector<Ref>& refs);
+  Ref or_all(const std::vector<Ref>& refs);
+
+  /// Substitute: replace each input id in `substitution` by the given
+  /// function everywhere in the cone of `root`. Single bottom-up pass; all
+  /// mapped inputs are replaced simultaneously.
+  Ref compose(Ref root,
+              const std::unordered_map<std::int32_t, Ref>& substitution);
+
+  /// Cofactor: fix input `input_id` to a constant.
+  Ref cofactor(Ref root, std::int32_t input_id, bool value);
+
+  /// Input ids appearing in the structural cone of `root` (sorted).
+  std::vector<std::int32_t> support(Ref root) const;
+
+  /// Number of AND nodes in the cone of `root`.
+  std::size_t cone_size(Ref root) const;
+
+  /// Evaluate under a complete input valuation (ids -> bool).
+  bool evaluate(Ref root,
+                const std::unordered_map<std::int32_t, bool>& inputs) const;
+
+  /// Evaluate with input ids interpreted as CNF variables of `a`.
+  bool evaluate(Ref root, const cnf::Assignment& a) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_inputs() const { return input_of_id_.size(); }
+
+  // Internal node accessors (used by the CNF encoder and simulator).
+  struct Node {
+    Ref fanin0 = 0;
+    Ref fanin1 = 0;
+    std::int32_t input_id = -1;  // >= 0 iff this is an input node
+  };
+  const Node& node(std::uint32_t index) const { return nodes_[index]; }
+
+ private:
+  Ref make_and(Ref a, Ref b);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> strash_;
+  std::unordered_map<std::int32_t, Ref> input_of_id_;
+};
+
+/// Collect the node indices of the cone of `root` in topological order
+/// (fanins before fanouts); includes input and constant nodes.
+std::vector<std::uint32_t> cone_topo_order(const Aig& aig, Ref root);
+
+}  // namespace manthan::aig

@@ -1,0 +1,45 @@
+#include "aig/aig_cnf.hpp"
+
+#include <unordered_map>
+
+namespace manthan::aig {
+
+cnf::Lit encode_cone(
+    const Aig& aig, Ref root, cnf::CnfFormula& out,
+    const std::function<cnf::Lit(std::int32_t)>& input_lit) {
+  std::unordered_map<std::uint32_t, cnf::Lit> lit_of_node;
+  cnf::Lit const_false_lit = cnf::kUndefLit;
+  for (const std::uint32_t n : cone_topo_order(aig, root)) {
+    const Aig::Node& node = aig.node(n);
+    if (n == 0) {
+      // Constant node: materialize a variable fixed to false only if some
+      // cone actually references the constant.
+      const_false_lit = cnf::pos(out.new_var());
+      out.add_unit(~const_false_lit);
+      lit_of_node.emplace(n, const_false_lit);
+    } else if (node.input_id >= 0) {
+      lit_of_node.emplace(n, input_lit(node.input_id));
+    } else {
+      const cnf::Lit a =
+          lit_of_node.at(ref_node(node.fanin0)) ^
+          ref_complemented(node.fanin0);
+      const cnf::Lit b =
+          lit_of_node.at(ref_node(node.fanin1)) ^
+          ref_complemented(node.fanin1);
+      const cnf::Lit n_lit = cnf::pos(out.new_var());
+      out.add_binary(~n_lit, a);
+      out.add_binary(~n_lit, b);
+      out.add_ternary(~a, ~b, n_lit);
+      lit_of_node.emplace(n, n_lit);
+    }
+  }
+  return lit_of_node.at(ref_node(root)) ^ ref_complemented(root);
+}
+
+cnf::Lit encode_cone(const Aig& aig, Ref root, cnf::CnfFormula& out) {
+  return encode_cone(aig, root, out, [](std::int32_t id) {
+    return cnf::pos(static_cast<cnf::Var>(id));
+  });
+}
+
+}  // namespace manthan::aig

@@ -1,0 +1,24 @@
+// Tseitin encoding of AIG cones into CNF.
+//
+// Bridges function space (AIGs) and oracle space (the CDCL solver): the
+// verification formula E(X,Y') and the repair formulas G_k conjoin the
+// specification CNF with encoded candidate functions.
+#pragma once
+
+#include <functional>
+
+#include "aig/aig.hpp"
+#include "cnf/cnf.hpp"
+
+namespace manthan::aig {
+
+/// Encode the cone of `root` into `out`. Each input id is mapped to a CNF
+/// literal by `input_lit`; internal AND nodes get fresh variables from
+/// `out.new_var()`. Returns a literal whose truth value equals `root`.
+cnf::Lit encode_cone(const Aig& aig, Ref root, cnf::CnfFormula& out,
+                     const std::function<cnf::Lit(std::int32_t)>& input_lit);
+
+/// Convenience overload: input id i is CNF variable i.
+cnf::Lit encode_cone(const Aig& aig, Ref root, cnf::CnfFormula& out);
+
+}  // namespace manthan::aig

@@ -1,0 +1,135 @@
+#include "aig/aig_io.hpp"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace manthan::aig {
+
+std::string default_input_name(std::int32_t id) {
+  return "x" + std::to_string(id);
+}
+
+namespace {
+
+/// Union of the cones of all outputs in topological order.
+std::vector<std::uint32_t> combined_cone(const Aig& aig,
+                                         const std::vector<NamedFunction>&
+                                             outputs) {
+  std::vector<std::uint32_t> order;
+  std::set<std::uint32_t> seen;
+  for (const NamedFunction& o : outputs) {
+    for (const std::uint32_t n : cone_topo_order(aig, o.function)) {
+      if (seen.insert(n).second) order.push_back(n);
+    }
+  }
+  return order;
+}
+
+std::string node_name(const Aig& aig, std::uint32_t n) {
+  const Aig::Node& node = aig.node(n);
+  if (n == 0) return "const0";
+  if (node.input_id >= 0) return default_input_name(node.input_id);
+  return "n" + std::to_string(n);
+}
+
+/// Edge as a (name, inverted) pair.
+std::pair<std::string, bool> edge(const Aig& aig, Ref r) {
+  return {node_name(aig, ref_node(r)), ref_complemented(r)};
+}
+
+}  // namespace
+
+void write_blif(std::ostream& out, const Aig& aig, const std::string& model,
+                const std::vector<NamedFunction>& outputs) {
+  const std::vector<std::uint32_t> cone = combined_cone(aig, outputs);
+  // Collect primary inputs.
+  std::vector<std::string> inputs;
+  bool uses_const = false;
+  for (const std::uint32_t n : cone) {
+    if (n == 0) {
+      uses_const = true;
+    } else if (aig.node(n).input_id >= 0) {
+      inputs.push_back(default_input_name(aig.node(n).input_id));
+    }
+  }
+
+  out << ".model " << model << '\n';
+  out << ".inputs";
+  for (const std::string& in : inputs) out << ' ' << in;
+  out << '\n';
+  out << ".outputs";
+  for (const NamedFunction& o : outputs) out << ' ' << o.name;
+  out << '\n';
+  if (uses_const) {
+    out << ".names const0\n";  // empty cover = constant 0
+  }
+  // AND nodes: cover over possibly-inverted fanins.
+  for (const std::uint32_t n : cone) {
+    const Aig::Node& node = aig.node(n);
+    if (n == 0 || node.input_id >= 0) continue;
+    const auto [a_name, a_inv] = edge(aig, node.fanin0);
+    const auto [b_name, b_inv] = edge(aig, node.fanin1);
+    out << ".names " << a_name << ' ' << b_name << ' ' << node_name(aig, n)
+        << '\n';
+    out << (a_inv ? '0' : '1') << (b_inv ? '0' : '1') << " 1\n";
+  }
+  // Output drivers (handle complemented roots with inverter covers).
+  for (const NamedFunction& o : outputs) {
+    const auto [name, inv] = edge(aig, o.function);
+    out << ".names " << name << ' ' << o.name << '\n';
+    out << (inv ? "0 1\n" : "1 1\n");
+  }
+  out << ".end\n";
+}
+
+void write_verilog(std::ostream& out, const Aig& aig,
+                   const std::string& module,
+                   const std::vector<NamedFunction>& outputs) {
+  const std::vector<std::uint32_t> cone = combined_cone(aig, outputs);
+  std::vector<std::string> inputs;
+  for (const std::uint32_t n : cone) {
+    if (n != 0 && aig.node(n).input_id >= 0) {
+      inputs.push_back(default_input_name(aig.node(n).input_id));
+    }
+  }
+
+  out << "module " << module << "(";
+  bool first = true;
+  for (const std::string& in : inputs) {
+    out << (first ? "" : ", ") << in;
+    first = false;
+  }
+  for (const NamedFunction& o : outputs) {
+    out << (first ? "" : ", ") << o.name;
+    first = false;
+  }
+  out << ");\n";
+  for (const std::string& in : inputs) out << "  input " << in << ";\n";
+  for (const NamedFunction& o : outputs) {
+    out << "  output " << o.name << ";\n";
+  }
+
+  const auto expr = [&](Ref r) {
+    const auto [name, inv] = edge(aig, r);
+    return inv ? "~" + name : name;
+  };
+  bool uses_const = false;
+  for (const std::uint32_t n : cone) {
+    if (n == 0) uses_const = true;
+  }
+  if (uses_const) out << "  wire const0 = 1'b0;\n";
+  for (const std::uint32_t n : cone) {
+    const Aig::Node& node = aig.node(n);
+    if (n == 0 || node.input_id >= 0) continue;
+    out << "  wire " << node_name(aig, n) << " = " << expr(node.fanin0)
+        << " & " << expr(node.fanin1) << ";\n";
+  }
+  for (const NamedFunction& o : outputs) {
+    out << "  assign " << o.name << " = " << expr(o.function) << ";\n";
+  }
+  out << "endmodule\n";
+}
+
+}  // namespace manthan::aig

@@ -1,0 +1,37 @@
+// Bit-parallel and exhaustive simulation of AIG cones.
+//
+// Used for fast semantic checks in tests and generators: 64 input patterns
+// per word, plus exhaustive tautology/equality checks for cones with small
+// structural support.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace manthan::aig {
+
+/// Simulate one 64-pattern word: each input id maps to a 64-bit pattern;
+/// returns the 64 output bits.
+std::uint64_t simulate64(
+    const Aig& aig, Ref root,
+    const std::unordered_map<std::int32_t, std::uint64_t>& input_patterns);
+
+/// Exhaustively check whether `root` is a tautology over its structural
+/// support. Intended for supports up to ~24 inputs (2^support evaluations,
+/// 64 at a time).
+bool is_tautology(const Aig& aig, Ref root);
+
+/// Exhaustively check semantic equivalence of two cones (over the union of
+/// their supports).
+bool semantically_equal(const Aig& aig, Ref a, Ref b);
+
+/// Full truth table of `root` over the given ordered input ids (must cover
+/// the support). Bit i of the result corresponds to the assignment where
+/// input_ids[j] takes bit j of i.
+std::vector<bool> truth_table(const Aig& aig, Ref root,
+                              const std::vector<std::int32_t>& input_ids);
+
+}  // namespace manthan::aig

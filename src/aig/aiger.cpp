@@ -1,0 +1,140 @@
+#include "aig/aiger.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace manthan::aig {
+
+AigerModule read_aiger_ascii(std::istream& in, Aig& manager) {
+  std::string magic;
+  std::size_t max_index = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_latches = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_ands = 0;
+  if (!(in >> magic >> max_index >> num_inputs >> num_latches >>
+        num_outputs >> num_ands)) {
+    throw std::runtime_error("aiger: malformed header");
+  }
+  if (magic != "aag") {
+    throw std::runtime_error("aiger: expected ASCII 'aag' header");
+  }
+  if (num_latches != 0) {
+    throw std::runtime_error("aiger: latches not supported");
+  }
+
+  // AIGER literal -> our edge. Literal 0 = false, 1 = true.
+  std::map<std::size_t, Ref> edge_of;  // keyed by even (variable) literal
+  const auto lit_to_ref = [&](std::size_t lit) -> Ref {
+    if (lit == 0) return kFalseRef;
+    if (lit == 1) return kTrueRef;
+    const auto it = edge_of.find(lit & ~std::size_t{1});
+    if (it == edge_of.end()) {
+      throw std::runtime_error("aiger: literal " + std::to_string(lit) +
+                               " used before definition");
+    }
+    return (lit & 1) ? ref_not(it->second) : it->second;
+  };
+
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    std::size_t lit = 0;
+    if (!(in >> lit) || (lit & 1) != 0) {
+      throw std::runtime_error("aiger: bad input literal");
+    }
+    edge_of[lit] = manager.input(static_cast<std::int32_t>(i));
+  }
+  std::vector<std::size_t> output_lits(num_outputs);
+  for (std::size_t i = 0; i < num_outputs; ++i) {
+    if (!(in >> output_lits[i])) {
+      throw std::runtime_error("aiger: bad output literal");
+    }
+  }
+  for (std::size_t i = 0; i < num_ands; ++i) {
+    std::size_t lhs = 0;
+    std::size_t rhs0 = 0;
+    std::size_t rhs1 = 0;
+    if (!(in >> lhs >> rhs0 >> rhs1) || (lhs & 1) != 0) {
+      throw std::runtime_error("aiger: bad AND line");
+    }
+    // AIGER requires rhs < lhs, so fanins are already defined.
+    edge_of[lhs] = manager.and_gate(lit_to_ref(rhs0), lit_to_ref(rhs1));
+  }
+
+  AigerModule module;
+  module.num_inputs = num_inputs;
+  for (const std::size_t lit : output_lits) {
+    module.outputs.push_back(lit_to_ref(lit));
+  }
+  return module;
+}
+
+AigerModule read_aiger_ascii_string(const std::string& text, Aig& manager) {
+  std::istringstream in(text);
+  return read_aiger_ascii(in, manager);
+}
+
+void write_aiger_ascii(std::ostream& out, const Aig& manager,
+                       const std::vector<Ref>& outputs) {
+  // Union cone in topological order.
+  std::vector<std::uint32_t> cone;
+  std::set<std::uint32_t> seen;
+  for (const Ref o : outputs) {
+    for (const std::uint32_t n : cone_topo_order(manager, o)) {
+      if (seen.insert(n).second) cone.push_back(n);
+    }
+  }
+  // Assign AIGER variable indices: inputs first (ascending input id),
+  // then AND nodes in topological order.
+  std::vector<std::pair<std::int32_t, std::uint32_t>> inputs;  // (id, node)
+  std::vector<std::uint32_t> ands;
+  for (const std::uint32_t n : cone) {
+    if (n == 0) continue;
+    if (manager.node(n).input_id >= 0) {
+      inputs.emplace_back(manager.node(n).input_id, n);
+    } else {
+      ands.push_back(n);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::map<std::uint32_t, std::size_t> aiger_lit;  // node -> even literal
+  std::size_t next_var = 1;
+  for (const auto& [id, n] : inputs) {
+    (void)id;
+    aiger_lit[n] = 2 * next_var++;
+  }
+  for (const std::uint32_t n : ands) aiger_lit[n] = 2 * next_var++;
+
+  const auto ref_to_lit = [&](Ref r) -> std::size_t {
+    if (r == kFalseRef) return 0;
+    if (r == kTrueRef) return 1;
+    return aiger_lit.at(ref_node(r)) + (ref_complemented(r) ? 1 : 0);
+  };
+
+  out << "aag " << next_var - 1 << ' ' << inputs.size() << " 0 "
+      << outputs.size() << ' ' << ands.size() << '\n';
+  for (const auto& [id, n] : inputs) {
+    (void)id;
+    out << aiger_lit[n] << '\n';
+  }
+  for (const Ref o : outputs) out << ref_to_lit(o) << '\n';
+  for (const std::uint32_t n : ands) {
+    const Aig::Node& node = manager.node(n);
+    out << aiger_lit[n] << ' ' << ref_to_lit(node.fanin0) << ' '
+        << ref_to_lit(node.fanin1) << '\n';
+  }
+}
+
+std::string to_aiger_ascii_string(const Aig& manager,
+                                  const std::vector<Ref>& outputs) {
+  std::ostringstream out;
+  write_aiger_ascii(out, manager, outputs);
+  return out.str();
+}
+
+}  // namespace manthan::aig

@@ -1,0 +1,202 @@
+#include "baselines/hqs_lite.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::baselines {
+
+using core::SynthesisResult;
+using core::SynthesisStatus;
+using cnf::Var;
+
+HqsLite::HqsLite(HqsLiteOptions options) : options_(options) {}
+
+SynthesisResult HqsLite::synthesize(const dqbf::DqbfFormula& formula,
+                                    aig::Aig& manager) {
+  util::Timer total_timer;
+  const util::Deadline deadline(options_.time_limit_seconds);
+  SynthesisResult result;
+  const auto finish = [&](SynthesisStatus status) {
+    result.status = status;
+    result.stats.total_seconds = total_timer.seconds();
+    return result;
+  };
+
+  const std::vector<dqbf::Existential>& ex = formula.existentials();
+  const std::size_t m = ex.size();
+  const std::vector<Var>& universals = formula.universals();
+
+  // X_common = ∩ H_i (all of X when there are no existentials).
+  std::vector<Var> x_common;
+  if (m == 0) {
+    x_common = universals;
+  } else {
+    x_common = ex[0].deps;
+    for (std::size_t i = 1; i < m; ++i) {
+      std::vector<Var> next;
+      std::set_intersection(x_common.begin(), x_common.end(),
+                            ex[i].deps.begin(), ex[i].deps.end(),
+                            std::back_inserter(next));
+      x_common = std::move(next);
+    }
+  }
+  std::vector<Var> x_expand;
+  for (const Var x : universals) {
+    if (!std::binary_search(x_common.begin(), x_common.end(), x)) {
+      x_expand.push_back(x);
+    }
+  }
+  if (x_expand.size() > options_.max_expansion_vars) {
+    // Expansion would blow up: the realistic failure mode of
+    // elimination-based solvers on strongly non-linear instances.
+    return finish(SynthesisStatus::kLimit);
+  }
+  std::unordered_map<Var, std::size_t> expand_pos;
+  for (std::size_t p = 0; p < x_expand.size(); ++p) {
+    expand_pos.emplace(x_expand[p], p);
+  }
+
+  // Per existential: the expanded part E_i of H_i (positions into
+  // x_expand) and a copy variable per assignment of E_i.
+  std::vector<std::vector<std::size_t>> e_positions(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const Var x : ex[i].deps) {
+      const auto it = expand_pos.find(x);
+      if (it != expand_pos.end()) e_positions[i].push_back(it->second);
+    }
+  }
+  cnf::CnfFormula expanded(formula.matrix().num_vars());
+  std::vector<std::unordered_map<std::uint64_t, Var>> copy_var(m);
+  std::vector<Var> copies;  // all copy variables, in allocation order
+  const auto copy_of = [&](std::size_t i, std::uint64_t alpha) -> Var {
+    // Key: assignment alpha restricted to E_i, packed densely.
+    std::uint64_t key = 0;
+    for (std::size_t b = 0; b < e_positions[i].size(); ++b) {
+      key |= ((alpha >> e_positions[i][b]) & 1) << b;
+    }
+    const auto it = copy_var[i].find(key);
+    if (it != copy_var[i].end()) return it->second;
+    const Var v = expanded.new_var();
+    copy_var[i].emplace(key, v);
+    copies.push_back(v);
+    return v;
+  };
+
+  // Instantiate the matrix for every assignment of the expanded block.
+  const std::uint64_t num_blocks = 1ULL << x_expand.size();
+  for (std::uint64_t alpha = 0; alpha < num_blocks; ++alpha) {
+    if (deadline.expired()) return finish(SynthesisStatus::kTimeout);
+    for (const cnf::Clause& clause : formula.matrix().clauses()) {
+      cnf::Clause instantiated;
+      bool satisfied = false;
+      for (const cnf::Lit l : clause) {
+        const Var v = l.var();
+        const auto it = expand_pos.find(v);
+        if (it != expand_pos.end()) {
+          const bool value = ((alpha >> it->second) & 1) != 0;
+          if (value != l.negated()) {
+            satisfied = true;
+            break;
+          }
+          continue;  // literal false under alpha: drop
+        }
+        if (formula.is_existential(v)) {
+          const std::size_t i = formula.existential_index(v);
+          instantiated.push_back(
+              cnf::Lit(copy_of(i, alpha), l.negated()));
+        } else {
+          instantiated.push_back(l);  // X_common literal
+        }
+      }
+      if (!satisfied) expanded.add_clause(std::move(instantiated));
+    }
+  }
+
+  // Build the expanded matrix as a BDD: X_common on top, copies below.
+  // The abort hook bounds every individual BDD operation (a single
+  // ite/exists on a blown-up graph could otherwise overrun the budget).
+  bdd::Bdd bdd;
+  bdd.set_abort_check([&]() {
+    return deadline.expired() || bdd.num_nodes() > options_.max_bdd_nodes;
+  });
+  std::vector<std::int32_t> order;
+  for (const Var x : x_common) order.push_back(x);
+  for (const Var c : copies) order.push_back(c);
+  bdd.declare_order(order);
+  try {
+  const std::optional<bdd::NodeId> built =
+      bdd.from_cnf_limited(expanded, options_.max_bdd_nodes);
+  if (!built.has_value()) return finish(SynthesisStatus::kLimit);
+  bdd::NodeId phi = *built;
+  if (deadline.expired()) return finish(SynthesisStatus::kTimeout);
+
+  // Realizability: ∃Y' φ' must be a tautology over X_common.
+  {
+    std::vector<std::int32_t> copy_ids(copies.begin(), copies.end());
+    const bdd::NodeId projected = bdd.exists(phi, copy_ids);
+    if (projected != bdd::kTrueNode) {
+      return finish(SynthesisStatus::kUnrealizable);
+    }
+  }
+  if (bdd.num_nodes() > options_.max_bdd_nodes) {
+    return finish(SynthesisStatus::kLimit);
+  }
+
+  // Skolem extraction over the copies: cofactor-and-compose in sequence.
+  std::unordered_map<Var, bdd::NodeId> skolem;
+  bdd::NodeId current = phi;
+  for (std::size_t c = 0; c < copies.size(); ++c) {
+    if (deadline.expired()) return finish(SynthesisStatus::kTimeout);
+    if (bdd.num_nodes() > options_.max_bdd_nodes) {
+      return finish(SynthesisStatus::kLimit);
+    }
+    std::vector<std::int32_t> later(copies.begin() +
+                                        static_cast<std::ptrdiff_t>(c) + 1,
+                                    copies.end());
+    const bdd::NodeId projected = bdd.exists(current, later);
+    // Candidate: output 1 exactly when extending with 1 keeps φ' holdable.
+    const bdd::NodeId f_c = bdd.restrict_var(projected, copies[c], true);
+    skolem.emplace(copies[c], f_c);
+    current = bdd.compose(current, copies[c], f_c);
+  }
+  // `current` is now φ' with all copies substituted; True instance iff it
+  // is the constant-true function of X_common.
+  if (current != bdd::kTrueNode) {
+    return finish(SynthesisStatus::kUnrealizable);
+  }
+
+  // Reassemble Henkin functions: a multiplexer tree over E_i selects the
+  // copy's Skolem function (support ⊆ X_common ⊆ H_i).
+  result.vector.functions.resize(m, aig::kFalseRef);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<std::size_t>& positions = e_positions[i];
+    const std::function<aig::Ref(std::size_t, std::uint64_t)> build =
+        [&](std::size_t depth, std::uint64_t key) -> aig::Ref {
+      if (depth == positions.size()) {
+        const auto it = copy_var[i].find(key);
+        // Copies are created lazily by clause instantiation; an absent
+        // copy means the variable was unconstrained there — any function
+        // works, use constant false.
+        if (it == copy_var[i].end()) return aig::kFalseRef;
+        return bdd_to_aig(bdd, skolem.at(it->second), manager);
+      }
+      const aig::Ref lo = build(depth + 1, key);
+      const aig::Ref hi = build(depth + 1, key | (1ULL << depth));
+      const aig::Ref selector =
+          manager.input(x_expand[positions[depth]]);
+      return manager.ite_gate(selector, hi, lo);
+    };
+    result.vector.functions[i] = build(0, 0);
+  }
+  return finish(SynthesisStatus::kRealizable);
+  } catch (const bdd::BddAborted&) {
+    return finish(deadline.expired() ? SynthesisStatus::kTimeout
+                                     : SynthesisStatus::kLimit);
+  }
+}
+
+}  // namespace manthan::baselines

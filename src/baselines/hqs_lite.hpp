@@ -1,0 +1,45 @@
+// HqsLite — an elimination-based Henkin synthesizer in the spirit of HQS2
+// (Gitina et al., DATE 2015; Wimmer et al., ATVA 2016).
+//
+// Strategy: reduce the DQBF to an equal-dependency (Skolem) problem by
+// *universal expansion* of every universal variable outside the common
+// dependency core  X_common = ∩_i H_i :  the matrix is instantiated for
+// all assignments of the expanded variables, and each existential y_i
+// splits into one copy per assignment of H_i's expanded part. The
+// resulting ∀X_common ∃Y' problem is solved with the BDD engine, Skolem
+// functions are extracted by cofactor-and-compose, and Henkin functions
+// are reassembled as multiplexer trees over the expanded variables.
+//
+// This reproduces HQS2's characteristic profile: excellent on instances
+// with small non-linear parts, hopeless when the expansion blows up —
+// which is precisely the orthogonality the paper's Figures 7-10 measure.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "core/manthan3.hpp"  // SynthesisResult / SynthesisStatus
+#include "dqbf/dqbf.hpp"
+
+namespace manthan::baselines {
+
+struct HqsLiteOptions {
+  /// Refuse to expand more than this many universal variables
+  /// (2^k matrix copies).
+  std::size_t max_expansion_vars = 12;
+  /// Abort when the BDD manager exceeds this node count.
+  std::size_t max_bdd_nodes = 2000000;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_limit_seconds = 0.0;
+};
+
+class HqsLite {
+ public:
+  explicit HqsLite(HqsLiteOptions options = {});
+
+  core::SynthesisResult synthesize(const dqbf::DqbfFormula& formula,
+                                   aig::Aig& manager);
+
+ private:
+  HqsLiteOptions options_;
+};
+
+}  // namespace manthan::baselines

@@ -1,0 +1,293 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+namespace manthan::bdd {
+
+Bdd::Bdd() {
+  nodes_.push_back({kTerminalLevel, kFalseNode, kFalseNode});  // 0: false
+  nodes_.push_back({kTerminalLevel, kTrueNode, kTrueNode});    // 1: true
+}
+
+void Bdd::declare_order(const std::vector<std::int32_t>& vars) {
+  for (const std::int32_t v : vars) level_of(v);
+}
+
+std::uint32_t Bdd::level_of(std::int32_t var) {
+  const auto it = level_of_var_.find(var);
+  if (it != level_of_var_.end()) return it->second;
+  const auto level = static_cast<std::uint32_t>(var_of_level_.size());
+  level_of_var_.emplace(var, level);
+  var_of_level_.push_back(var);
+  return level;
+}
+
+NodeId Bdd::mk(std::uint32_t level, NodeId lo, NodeId hi) {
+  if ((++op_counter_ & 0xfff) == 0 && abort_check_ && abort_check_()) {
+    throw BddAborted();
+  }
+  if (lo == hi) return lo;
+  const TripleKey key{level, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({level, lo, hi});
+  unique_.emplace(key, id);
+  return id;
+}
+
+NodeId Bdd::var_node(std::int32_t var) {
+  return mk(level_of(var), kFalseNode, kTrueNode);
+}
+
+NodeId Bdd::literal(std::int32_t var, bool positive) {
+  const std::uint32_t level = level_of(var);
+  return positive ? mk(level, kFalseNode, kTrueNode)
+                  : mk(level, kTrueNode, kFalseNode);
+}
+
+NodeId Bdd::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrueNode) return g;
+  if (f == kFalseNode) return h;
+  if (g == h) return g;
+  if (g == kTrueNode && h == kFalseNode) return f;
+
+  const TripleKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const std::uint32_t top = std::min(
+      {nodes_[f].level, nodes_[g].level, nodes_[h].level});
+  const auto cofactor = [&](NodeId n, bool positive) {
+    if (nodes_[n].level != top) return n;
+    return positive ? nodes_[n].hi : nodes_[n].lo;
+  };
+  const NodeId hi = ite(cofactor(f, true), cofactor(g, true),
+                        cofactor(h, true));
+  const NodeId lo = ite(cofactor(f, false), cofactor(g, false),
+                        cofactor(h, false));
+  const NodeId result = mk(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+NodeId Bdd::quantify(NodeId f, const std::vector<std::uint32_t>& levels,
+                     bool existential,
+                     std::unordered_map<NodeId, NodeId>& cache) {
+  if (is_terminal(f)) return f;
+  const auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+  const Node n = nodes_[f];
+  // Levels are sorted; everything quantified lies at or below some level,
+  // but we simply test membership.
+  const bool quantify_here =
+      std::binary_search(levels.begin(), levels.end(), n.level);
+  const NodeId lo = quantify(n.lo, levels, existential, cache);
+  const NodeId hi = quantify(n.hi, levels, existential, cache);
+  NodeId result;
+  if (quantify_here) {
+    result = existential ? or_op(lo, hi) : and_op(lo, hi);
+  } else {
+    result = mk(n.level, lo, hi);
+  }
+  cache.emplace(f, result);
+  return result;
+}
+
+NodeId Bdd::exists(NodeId f, const std::vector<std::int32_t>& vars) {
+  std::vector<std::uint32_t> levels;
+  levels.reserve(vars.size());
+  for (const std::int32_t v : vars) levels.push_back(level_of(v));
+  std::sort(levels.begin(), levels.end());
+  std::unordered_map<NodeId, NodeId> cache;
+  return quantify(f, levels, /*existential=*/true, cache);
+}
+
+NodeId Bdd::forall(NodeId f, const std::vector<std::int32_t>& vars) {
+  std::vector<std::uint32_t> levels;
+  levels.reserve(vars.size());
+  for (const std::int32_t v : vars) levels.push_back(level_of(v));
+  std::sort(levels.begin(), levels.end());
+  std::unordered_map<NodeId, NodeId> cache;
+  return quantify(f, levels, /*existential=*/false, cache);
+}
+
+NodeId Bdd::restrict_level(NodeId f, std::uint32_t level, bool value,
+                           std::unordered_map<NodeId, NodeId>& cache) {
+  if (is_terminal(f) || nodes_[f].level > level) return f;
+  const auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+  const Node n = nodes_[f];
+  NodeId result;
+  if (n.level == level) {
+    result = value ? n.hi : n.lo;
+  } else {
+    result = mk(n.level, restrict_level(n.lo, level, value, cache),
+                restrict_level(n.hi, level, value, cache));
+  }
+  cache.emplace(f, result);
+  return result;
+}
+
+NodeId Bdd::restrict_var(NodeId f, std::int32_t var, bool value) {
+  std::unordered_map<NodeId, NodeId> cache;
+  return restrict_level(f, level_of(var), value, cache);
+}
+
+NodeId Bdd::compose(NodeId f, std::int32_t var, NodeId g) {
+  // f[var := g] == ite(g, f|var=1, f|var=0)
+  return ite(g, restrict_var(f, var, true), restrict_var(f, var, false));
+}
+
+NodeId Bdd::from_cnf(const cnf::CnfFormula& formula) {
+  // Declare variables in index order for a predictable default ordering.
+  for (cnf::Var v = 0; v < formula.num_vars(); ++v) level_of(v);
+  NodeId acc = kTrueNode;
+  for (const cnf::Clause& clause : formula.clauses()) {
+    NodeId c = kFalseNode;
+    for (const cnf::Lit l : clause) {
+      c = or_op(c, literal(l.var(), !l.negated()));
+    }
+    acc = and_op(acc, c);
+    if (acc == kFalseNode) break;
+  }
+  return acc;
+}
+
+std::optional<NodeId> Bdd::from_cnf_limited(const cnf::CnfFormula& formula,
+                                            std::size_t max_nodes) {
+  for (cnf::Var v = 0; v < formula.num_vars(); ++v) level_of(v);
+  NodeId acc = kTrueNode;
+  for (const cnf::Clause& clause : formula.clauses()) {
+    NodeId c = kFalseNode;
+    for (const cnf::Lit l : clause) {
+      c = or_op(c, literal(l.var(), !l.negated()));
+    }
+    acc = and_op(acc, c);
+    if (acc == kFalseNode) break;
+    if (nodes_.size() > max_nodes) return std::nullopt;
+  }
+  return acc;
+}
+
+std::vector<std::int32_t> Bdd::support(NodeId f) const {
+  std::vector<std::int32_t> vars;
+  std::vector<NodeId> stack{f};
+  std::unordered_map<NodeId, bool> visited;
+  std::vector<std::uint32_t> levels;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (is_terminal(n) || visited.count(n) != 0) continue;
+    visited.emplace(n, true);
+    levels.push_back(nodes_[n].level);
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  vars.reserve(levels.size());
+  for (const std::uint32_t l : levels) vars.push_back(var_of_level_[l]);
+  return vars;
+}
+
+bool Bdd::evaluate(
+    NodeId f, const std::unordered_map<std::int32_t, bool>& values) const {
+  NodeId n = f;
+  while (!is_terminal(n)) {
+    const auto it = values.find(var_of_level_[nodes_[n].level]);
+    assert(it != values.end());
+    n = it->second ? nodes_[n].hi : nodes_[n].lo;
+  }
+  return n == kTrueNode;
+}
+
+double Bdd::sat_count(NodeId f, std::size_t num_vars) const {
+  // Count over the declared level space, then scale by variables outside
+  // the declared order.
+  const std::size_t declared = var_of_level_.size();
+  std::unordered_map<NodeId, double> cache;
+  // count(n) = models over levels strictly below n.level ... standard
+  // "scaled at edges" formulation.
+  const std::function<double(NodeId)> count = [&](NodeId n) -> double {
+    if (n == kFalseNode) return 0.0;
+    if (n == kTrueNode) return 1.0;
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+    const Node& node = nodes_[n];
+    const auto weight = [&](NodeId child) -> double {
+      const std::uint32_t child_level =
+          is_terminal(child) ? static_cast<std::uint32_t>(declared)
+                             : nodes_[child].level;
+      return count(child) *
+             std::pow(2.0, static_cast<double>(child_level) -
+                               static_cast<double>(node.level) - 1.0);
+    };
+    const double result = weight(node.lo) + weight(node.hi);
+    cache.emplace(n, result);
+    return result;
+  };
+  double total;
+  if (is_terminal(f)) {
+    total = (f == kTrueNode) ? std::pow(2.0, static_cast<double>(declared))
+                             : 0.0;
+  } else {
+    total = count(f) *
+            std::pow(2.0, static_cast<double>(nodes_[f].level));
+  }
+  // Variables beyond the declared order are unconstrained.
+  assert(num_vars >= declared);
+  return total * std::pow(2.0, static_cast<double>(num_vars - declared));
+}
+
+bool Bdd::pick_model(NodeId f,
+                     std::unordered_map<std::int32_t, bool>& out) const {
+  if (f == kFalseNode) return false;
+  NodeId n = f;
+  while (!is_terminal(n)) {
+    const Node& node = nodes_[n];
+    const bool go_high = node.hi != kFalseNode;
+    out[var_of_level_[node.level]] = go_high;
+    n = go_high ? node.hi : node.lo;
+  }
+  return true;
+}
+
+std::size_t Bdd::dag_size(NodeId f) const {
+  std::vector<NodeId> stack{f};
+  std::unordered_map<NodeId, bool> visited;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (visited.count(n) != 0) continue;
+    visited.emplace(n, true);
+    if (!is_terminal(n)) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return visited.size();
+}
+
+aig::Ref bdd_to_aig(const Bdd& bdd, NodeId f, aig::Aig& manager) {
+  std::unordered_map<NodeId, aig::Ref> memo;
+  const std::function<aig::Ref(NodeId)> convert =
+      [&](NodeId n) -> aig::Ref {
+    if (n == kFalseNode) return aig::kFalseRef;
+    if (n == kTrueNode) return aig::kTrueRef;
+    const auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const aig::Ref selector = manager.input(bdd.var_of(n));
+    const aig::Ref result = manager.ite_gate(selector, convert(bdd.high(n)),
+                                             convert(bdd.low(n)));
+    memo.emplace(n, result);
+    return result;
+  };
+  return convert(f);
+}
+
+}  // namespace manthan::bdd

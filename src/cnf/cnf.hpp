@@ -1,0 +1,85 @@
+// CNF formulas and total/partial assignments.
+//
+// CnfFormula is the common currency between the DQBF container, the SAT /
+// MaxSAT solvers, the sampler, and the Tseitin encoder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnf/lit.hpp"
+
+namespace manthan::cnf {
+
+using Clause = std::vector<Lit>;
+
+/// A complete assignment over variables [0, size).
+class Assignment {
+ public:
+  Assignment() = default;
+  explicit Assignment(std::size_t num_vars, bool value = false)
+      : values_(num_vars, value) {}
+
+  std::size_t size() const { return values_.size(); }
+  void resize(std::size_t n, bool value = false) { values_.resize(n, value); }
+
+  bool value(Var v) const { return values_[static_cast<std::size_t>(v)]; }
+  void set(Var v, bool value) { values_[static_cast<std::size_t>(v)] = value; }
+
+  /// Truth value of a literal under this assignment.
+  bool value(Lit l) const { return value(l.var()) != l.negated(); }
+
+  bool operator==(const Assignment& o) const { return values_ == o.values_; }
+
+  /// Packed key for hashing / dedup of samples.
+  std::vector<bool> const& bits() const { return values_; }
+
+ private:
+  std::vector<bool> values_;
+};
+
+/// A CNF formula: clause list plus a variable count.
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(Var num_vars) : num_vars_(num_vars) {}
+
+  Var num_vars() const { return num_vars_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Allocate a fresh variable and return it.
+  Var new_var() { return num_vars_++; }
+  /// Ensure at least `n` variables exist.
+  void ensure_vars(Var n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+
+  void add_clause(Clause clause);
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  /// Append all clauses of `other` (same variable numbering).
+  void append(const CnfFormula& other);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const Clause& clause(std::size_t i) const { return clauses_[i]; }
+
+  /// True iff the assignment satisfies every clause.
+  bool satisfied_by(const Assignment& a) const;
+
+  /// Human-readable dump for debugging and error messages.
+  std::string to_string() const;
+
+ private:
+  Var num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// Encode (lhs <-> rhs) as two binary clauses into `out`.
+void add_equivalence(CnfFormula& out, Lit lhs, Lit rhs);
+
+/// Encode (lhs <-> value) as a unit clause into `out`.
+void add_fixed(CnfFormula& out, Lit lhs, bool value);
+
+}  // namespace manthan::cnf

@@ -1,0 +1,68 @@
+#include "cnf/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manthan::cnf {
+
+CnfFormula parse_dimacs(std::istream& in) {
+  CnfFormula formula;
+  bool saw_header = false;
+  std::string token;
+  Clause current;
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      Var num_vars = 0;
+      std::size_t num_clauses = 0;
+      if (!(in >> fmt >> num_vars >> num_clauses) || fmt != "cnf") {
+        throw std::runtime_error("dimacs: malformed problem line");
+      }
+      formula.ensure_vars(num_vars);
+      saw_header = true;
+      continue;
+    }
+    std::int32_t value = 0;
+    try {
+      value = std::stoi(token);
+    } catch (const std::exception&) {
+      throw std::runtime_error("dimacs: unexpected token '" + token + "'");
+    }
+    if (value == 0) {
+      formula.add_clause(current);
+      current.clear();
+    } else {
+      current.push_back(Lit::from_dimacs(value));
+    }
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: clause not terminated by 0");
+  }
+  if (!saw_header) {
+    throw std::runtime_error("dimacs: missing problem line");
+  }
+  return formula;
+}
+
+CnfFormula parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const CnfFormula& formula) {
+  out << "p cnf " << formula.num_vars() << ' ' << formula.num_clauses()
+      << '\n';
+  for (const Clause& c : formula.clauses()) {
+    for (const Lit l : c) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+}  // namespace manthan::cnf

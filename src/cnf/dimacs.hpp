@@ -1,0 +1,21 @@
+// DIMACS CNF reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cnf/cnf.hpp"
+
+namespace manthan::cnf {
+
+/// Parse DIMACS CNF from a stream. Throws std::runtime_error on malformed
+/// input. Comment lines ('c ...') are ignored.
+CnfFormula parse_dimacs(std::istream& in);
+
+/// Parse DIMACS CNF from a string (convenience for tests).
+CnfFormula parse_dimacs_string(const std::string& text);
+
+/// Write DIMACS CNF.
+void write_dimacs(std::ostream& out, const CnfFormula& formula);
+
+}  // namespace manthan::cnf

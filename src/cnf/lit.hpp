@@ -1,0 +1,79 @@
+// Variables and literals.
+//
+// Variables are 0-based indices. A literal packs (variable, sign) into one
+// integer: lit = 2*var + (negated ? 1 : 0). This is the classic MiniSat
+// encoding; it makes watch lists and polarity arrays plain vectors.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace manthan::cnf {
+
+using Var = std::int32_t;
+
+inline constexpr Var kNoVar = -1;
+
+class Lit {
+ public:
+  constexpr Lit() : code_(-2) {}
+  constexpr Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  static constexpr Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  /// Build from a DIMACS-style non-zero integer: +v / -v with v >= 1.
+  static constexpr Lit from_dimacs(std::int32_t dimacs) {
+    return Lit(dimacs > 0 ? dimacs - 1 : -dimacs - 1, dimacs < 0);
+  }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool negated() const { return (code_ & 1) != 0; }
+  constexpr std::int32_t code() const { return code_; }
+  constexpr std::int32_t to_dimacs() const {
+    return negated() ? -(var() + 1) : (var() + 1);
+  }
+
+  constexpr Lit operator~() const { return from_code(code_ ^ 1); }
+  /// This literal with the given sign applied on top (xor of polarities).
+  constexpr Lit operator^(bool flip) const {
+    return from_code(code_ ^ (flip ? 1 : 0));
+  }
+
+  constexpr bool operator==(const Lit& o) const { return code_ == o.code_; }
+  constexpr bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  constexpr bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+  constexpr bool valid() const { return code_ >= 0; }
+
+ private:
+  std::int32_t code_;
+};
+
+inline constexpr Lit kUndefLit = Lit();
+
+/// Positive / negative literal helpers.
+inline constexpr Lit pos(Var v) { return Lit(v, false); }
+inline constexpr Lit neg(Var v) { return Lit(v, true); }
+
+/// Ternary logic value used by solver assignments.
+enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
+inline LBool operator^(LBool v, bool flip) {
+  if (v == LBool::kUndef) return v;
+  return lbool_from((v == LBool::kTrue) != flip);
+}
+
+}  // namespace manthan::cnf
+
+template <>
+struct std::hash<manthan::cnf::Lit> {
+  std::size_t operator()(const manthan::cnf::Lit& l) const {
+    return std::hash<std::int32_t>()(l.code());
+  }
+};

@@ -1,0 +1,70 @@
+#include "core/dependency.hpp"
+
+#include <cassert>
+
+namespace manthan::core {
+
+DependencyManager::DependencyManager(std::size_t num_existentials)
+    : dependents_(num_existentials,
+                  std::vector<bool>(num_existentials, false)) {}
+
+bool DependencyManager::depends_on(std::size_t i, std::size_t j) const {
+  return dependents_[j][i];
+}
+
+bool DependencyManager::can_use(std::size_t i, std::size_t j) const {
+  return i != j && !depends_on(j, i);
+}
+
+void DependencyManager::record_use(std::size_t i, std::size_t j) {
+  assert(can_use(i, j));
+  const std::size_t m = dependents_.size();
+  // d_j ∪= {y_i} ∪ d_i, transitively: everything y_j is depended on by
+  // (nothing here: d_j grows) — and every variable y_j itself depends on
+  // inherits the new dependents as well.
+  std::vector<std::size_t> gained;
+  if (!dependents_[j][i]) gained.push_back(i);
+  for (std::size_t k = 0; k < m; ++k) {
+    if (dependents_[i][k] && !dependents_[j][k]) gained.push_back(k);
+  }
+  for (const std::size_t g : gained) dependents_[j][g] = true;
+  // Transitive closure: whatever y_j depends on also gains the new
+  // dependents. y_j depends on y_t iff dependents_[t][j].
+  for (std::size_t t = 0; t < m; ++t) {
+    if (!dependents_[t][j]) continue;
+    for (const std::size_t g : gained) dependents_[t][g] = true;
+  }
+}
+
+std::vector<std::size_t> DependencyManager::find_order() const {
+  // Kahn's algorithm on edges i -> j whenever y_i depends on y_j
+  // (dependent first, dependency later). Ties resolved by smallest index.
+  const std::size_t m = dependents_.size();
+  std::vector<std::size_t> in_degree(m, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dependents_[j][i]) ++in_degree[j];  // edge i -> j
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(m);
+  std::vector<bool> emitted(m, false);
+  for (std::size_t step = 0; step < m; ++step) {
+    std::size_t pick = m;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!emitted[j] && in_degree[j] == 0) {
+        pick = j;
+        break;
+      }
+    }
+    assert(pick < m && "dependency relation must be acyclic");
+    emitted[pick] = true;
+    order.push_back(pick);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (dependents_[j][pick] && !emitted[j]) --in_degree[j];
+    }
+  }
+  return order;
+}
+
+}  // namespace manthan::core

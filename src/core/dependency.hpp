@@ -1,0 +1,43 @@
+// Dependency bookkeeping among existential variables (the set D and the
+// FindOrder subroutine of Algorithm 1).
+//
+// Manthan3 lets a candidate f_i use another existential y_j as a feature
+// when H_j ⊆ H_i, provided this cannot create a cyclic definition. The
+// manager maintains, for every y_j, the transitively closed set d_j of
+// existentials that depend on y_j; a feature y_j is admissible for y_i iff
+// y_j does not (transitively) depend on y_i. FindOrder produces a linear
+// extension of the resulting partial order ≺d used by the repair step
+// (the Ŷ set) and by the final Substitute pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manthan::core {
+
+class DependencyManager {
+ public:
+  explicit DependencyManager(std::size_t num_existentials);
+
+  /// True iff y_i (transitively) depends on y_j.
+  bool depends_on(std::size_t i, std::size_t j) const;
+
+  /// Whether candidate f_i may use y_j as a feature (no cycle; i != j).
+  bool can_use(std::size_t i, std::size_t j) const;
+
+  /// Record that f_i uses y_j: d_j gains y_i and everything that depends
+  /// on y_i (Algorithm 2, lines 11-12). Precondition: can_use(i, j).
+  void record_use(std::size_t i, std::size_t j);
+
+  /// Linear extension of ≺d: if y_i depends on y_j then i appears before
+  /// j. Deterministic (ties broken by index). Returns existential indices.
+  std::vector<std::size_t> find_order() const;
+
+  std::size_t size() const { return dependents_.size(); }
+
+ private:
+  /// dependents_[j][i] == true  iff  y_i depends on y_j (i ∈ d_j).
+  std::vector<std::vector<bool>> dependents_;
+};
+
+}  // namespace manthan::core

@@ -1,0 +1,354 @@
+#include "core/manthan3.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "core/dependency.hpp"
+#include "dqbf/certificate.hpp"
+#include "maxsat/maxsat.hpp"
+#include "sat/solver.hpp"
+#include "util/log.hpp"
+
+namespace manthan::core {
+
+namespace {
+
+using cnf::Lit;
+using cnf::Var;
+
+/// Unit-constraint literal: (v <-> value) as a single literal.
+Lit unit_lit(Var v, bool value) {
+  return value ? cnf::pos(v) : cnf::neg(v);
+}
+
+}  // namespace
+
+Manthan3::Manthan3(Manthan3Options options) : options_(options) {}
+
+SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
+                                     aig::Aig& manager) {
+  util::Timer total_timer;
+  const util::Deadline deadline(options_.time_limit_seconds);
+  SynthesisResult result;
+  SynthesisStats& stats = result.stats;
+  const cnf::CnfFormula& matrix = formula.matrix();
+  const std::vector<dqbf::Existential>& ex = formula.existentials();
+  const std::size_t m = ex.size();
+
+  const auto finish = [&](SynthesisStatus status) {
+    result.status = status;
+    stats.total_seconds = total_timer.seconds();
+    return result;
+  };
+
+  // Persistent specification solver: extension checks (Algorithm 1,
+  // line 13) and repair queries G_k (Algorithm 3, line 9) run on it with
+  // assumptions, sharing learnt clauses across the whole synthesis run.
+  sat::Solver phi_solver;
+  if (!phi_solver.add_formula(matrix)) {
+    // The matrix is unsatisfiable: no X-assignment extends, so the DQBF
+    // is False (unless there are no universals either, still False).
+    return finish(SynthesisStatus::kUnrealizable);
+  }
+
+  // ---- Data generation (Algorithm 1, line 1) ----------------------------
+  util::Timer phase_timer;
+  sampler::SamplerOptions sampler_options = options_.sampler;
+  sampler_options.seed = options_.seed;
+  sampler::Sampler sampler(sampler_options);
+  std::vector<Var> y_vars;
+  y_vars.reserve(m);
+  for (const dqbf::Existential& e : ex) y_vars.push_back(e.var);
+  std::vector<cnf::Assignment> samples =
+      sampler.sample(matrix, y_vars, &deadline);
+  stats.sampling_seconds = phase_timer.seconds();
+  stats.samples = samples.size();
+  if (samples.empty()) {
+    // UNSAT matrix or the deadline hit before the first model.
+    const sat::Result r = phi_solver.solve({}, deadline);
+    if (r == sat::Result::kUnsat) return finish(SynthesisStatus::kUnrealizable);
+    if (r == sat::Result::kUnknown) return finish(SynthesisStatus::kTimeout);
+    samples.push_back(phi_solver.model());
+    stats.samples = 1;
+  }
+
+  // ---- Static ordering constraints (Algorithm 1, lines 3-5) -------------
+  DependencyManager dep(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      // H_j ⊂ H_i (strict): y_i may come to depend on y_j; pre-commit the
+      // ordering edge so learning can never create a cycle.
+      if (formula.deps_subset(j, i) && !formula.deps_equal(j, i) &&
+          dep.can_use(i, j)) {
+        dep.record_use(i, j);
+      }
+    }
+  }
+
+  std::vector<aig::Ref> f(m, aig::kFalseRef);
+  std::vector<bool> fixed(m, false);
+
+  // ---- UNIQUE-style preprocessing ---------------------------------------
+  if (options_.use_unique_extraction) {
+    UniqueDefExtractor unique(formula, options_.unique);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (deadline.expired()) break;
+      if (unique.is_defined(i, &deadline) !=
+          UniqueDefExtractor::Defined::kYes) {
+        continue;
+      }
+      const std::optional<aig::Ref> def = unique.extract(i, manager);
+      if (def.has_value()) {
+        f[i] = *def;
+        fixed[i] = true;
+        ++stats.unique_defined;
+      }
+    }
+  }
+
+  // ---- Candidate learning (Algorithm 2) ---------------------------------
+  phase_timer.reset();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (fixed[i]) continue;
+    // featset = H_i plus admissible existentials (H_j ⊆ H_i, no cycle).
+    std::vector<Var> feature_vars(ex[i].deps.begin(), ex[i].deps.end());
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      if (formula.deps_subset(j, i) && dep.can_use(i, j)) {
+        feature_vars.push_back(ex[j].var);
+      }
+    }
+    std::vector<aig::Ref> feature_refs;
+    feature_refs.reserve(feature_vars.size());
+    for (const Var v : feature_vars) feature_refs.push_back(manager.input(v));
+
+    std::vector<std::vector<bool>> rows;
+    rows.reserve(samples.size());
+    std::vector<bool> labels;
+    labels.reserve(samples.size());
+    for (const cnf::Assignment& s : samples) {
+      std::vector<bool> row;
+      row.reserve(feature_vars.size());
+      for (const Var v : feature_vars) row.push_back(s.value(v));
+      rows.push_back(std::move(row));
+      labels.push_back(s.value(ex[i].var));
+    }
+    const dtree::DecisionTree tree =
+        dtree::DecisionTree::fit(rows, labels, options_.dtree);
+    f[i] = tree.to_aig(manager, feature_refs);
+    ++stats.learned_candidates;
+
+    // Record which existentials actually appear in the candidate
+    // (Algorithm 2, lines 11-12).
+    for (const std::int32_t id : manager.support(f[i])) {
+      if (!formula.is_existential(static_cast<Var>(id))) continue;
+      const std::size_t j =
+          formula.existential_index(static_cast<Var>(id));
+      if (dep.can_use(i, j)) dep.record_use(i, j);
+    }
+  }
+  stats.learning_seconds = phase_timer.seconds();
+
+  // ---- FindOrder (Algorithm 1, line 8) -----------------------------------
+  const std::vector<std::size_t> order = dep.find_order();
+  std::vector<std::size_t> order_pos(m, 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    order_pos[order[pos]] = pos;
+  }
+
+  const auto substitute_and_return = [&]() {
+    // Substitute (Algorithm 1, line 19): walk Order from its tail so that
+    // every referenced existential is already expressed over universals.
+    std::vector<aig::Ref> final_functions(m, aig::kFalseRef);
+    std::unordered_map<std::int32_t, aig::Ref> substitution;
+    for (std::size_t pos = order.size(); pos-- > 0;) {
+      const std::size_t k = order[pos];
+      final_functions[k] = manager.compose(f[k], substitution);
+      substitution[ex[k].var] = final_functions[k];
+    }
+    result.vector.functions = std::move(final_functions);
+    return finish(SynthesisStatus::kRealizable);
+  };
+
+  // ---- Verify / repair loop (Algorithm 1, lines 9-18) --------------------
+  // Consecutive counterexamples for which no candidate could be repaired;
+  // a fresh verification round may produce a different (repairable)
+  // counterexample, so incompleteness is only declared after several
+  // fruitless rounds in a row.
+  std::size_t no_progress_rounds = 0;
+  constexpr std::size_t kMaxNoProgressRounds = 12;
+  while (true) {
+    if (deadline.expired()) return finish(SynthesisStatus::kTimeout);
+    if (stats.counterexamples >= options_.max_counterexamples) {
+      return finish(SynthesisStatus::kLimit);
+    }
+
+    phase_timer.reset();
+    dqbf::HenkinVector candidate{f};
+    const cnf::CnfFormula refutation =
+        dqbf::build_refutation_cnf(formula, manager, candidate);
+    sat::SolverOptions verify_options;
+    // Vary the search seed per round so a stuck repair sees a different
+    // counterexample next time instead of the same one forever.
+    verify_options.seed = options_.seed + 0x9e37 * (stats.counterexamples + 1);
+    verify_options.random_branch_freq = no_progress_rounds > 0 ? 0.1 : 0.0;
+    verify_options.random_polarity = no_progress_rounds > 0;
+    sat::Solver verify_solver(verify_options);
+    sat::Result verify_result;
+    if (!verify_solver.add_formula(refutation)) {
+      verify_result = sat::Result::kUnsat;
+    } else {
+      verify_result = verify_solver.solve({}, deadline);
+    }
+    stats.verify_seconds += phase_timer.seconds();
+    if (verify_result == sat::Result::kUnknown) {
+      return finish(SynthesisStatus::kTimeout);
+    }
+    if (verify_result == sat::Result::kUnsat) return substitute_and_return();
+
+    // δ: counterexample candidate-output assignment. Check whether δ[X]
+    // extends to a model of φ at all (Algorithm 1, line 13).
+    const cnf::Assignment& delta = verify_solver.model();
+    std::vector<Lit> x_assumptions;
+    x_assumptions.reserve(formula.universals().size());
+    for (const Var x : formula.universals()) {
+      x_assumptions.push_back(unit_lit(x, delta.value(x)));
+    }
+    const sat::Result extend_result = phi_solver.solve(x_assumptions, deadline);
+    if (extend_result == sat::Result::kUnknown) {
+      return finish(SynthesisStatus::kTimeout);
+    }
+    if (extend_result == sat::Result::kUnsat) {
+      return finish(SynthesisStatus::kUnrealizable);
+    }
+    const cnf::Assignment pi = phi_solver.model();
+    ++stats.counterexamples;
+
+    // σ = π[X] + π[Y] + δ[Y'] (line 16). The working Y'-values are the
+    // current candidate outputs; they are updated as repairs land.
+    std::vector<bool> sigma_yp(m);
+    for (std::size_t i = 0; i < m; ++i) sigma_yp[i] = delta.value(ex[i].var);
+
+    // ---- RepairHkF (Algorithm 3) ----------------------------------------
+    phase_timer.reset();
+    // FindCandi: MaxSAT with φ ∧ (X ↔ σ[X]) hard, (Y ↔ σ[Y']) soft.
+    maxsat::MaxSatSolver maxsat;
+    maxsat.add_hard_formula(matrix);
+    for (const Var x : formula.universals()) {
+      maxsat.add_hard({unit_lit(x, pi.value(x))});
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      maxsat.add_soft({unit_lit(ex[i].var, sigma_yp[i])});
+    }
+    ++stats.maxsat_calls;
+    const maxsat::MaxSatStatus ms_status = maxsat.solve(&deadline);
+    if (ms_status == maxsat::MaxSatStatus::kUnknown) {
+      return finish(SynthesisStatus::kTimeout);
+    }
+    if (ms_status == maxsat::MaxSatStatus::kUnsatisfiableHard) {
+      // Cannot happen (π witnesses satisfiability); fail safe.
+      return finish(SynthesisStatus::kIncomplete);
+    }
+    std::deque<std::size_t> queue;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!maxsat.soft_satisfied(i)) queue.push_back(i);
+    }
+
+    std::vector<bool> processed(m, false);
+    std::size_t repairs_this_cex = 0;
+    while (!queue.empty()) {
+      if (deadline.expired()) return finish(SynthesisStatus::kTimeout);
+      if (stats.repair_checks >= options_.max_repair_iterations) {
+        return finish(SynthesisStatus::kLimit);
+      }
+      const std::size_t k = queue.front();
+      queue.pop_front();
+      if (processed[k]) continue;
+      processed[k] = true;
+
+      // Ŷ = {y_j : H_j ⊆ H_k, Order(y_j) > Order(y_k)} (line 6). Fixing
+      // these lets the core mention admissible Y features (§5's example).
+      std::vector<std::size_t> yhat;
+      if (options_.use_yhat_in_repair) {
+        for (std::size_t j = 0; j < m; ++j) {
+          if (j != k && formula.deps_subset(j, k) &&
+              order_pos[j] > order_pos[k]) {
+            yhat.push_back(j);
+          }
+        }
+      }
+      std::vector<bool> in_yhat(m, false);
+      for (const std::size_t j : yhat) in_yhat[j] = true;
+
+      // G_k = (y_k ↔ σ[y'_k]) ∧ φ ∧ (H_k ↔ σ[H_k]) ∧ (Ŷ ↔ σ[Ŷ]) as
+      // assumptions on the persistent φ solver (line 8).
+      std::vector<Lit> assumptions;
+      assumptions.push_back(unit_lit(ex[k].var, sigma_yp[k]));
+      for (const Var x : ex[k].deps) {
+        assumptions.push_back(unit_lit(x, pi.value(x)));
+      }
+      for (const std::size_t j : yhat) {
+        assumptions.push_back(unit_lit(ex[j].var, sigma_yp[j]));
+      }
+      ++stats.repair_checks;
+      const sat::Result gk_result = phi_solver.solve(assumptions, deadline);
+      if (gk_result == sat::Result::kUnknown) {
+        return finish(SynthesisStatus::kTimeout);
+      }
+      if (gk_result == sat::Result::kUnsat) {
+        // Build β from the unit clauses in the UNSAT core (lines 11-12).
+        std::vector<aig::Ref> beta_lits;
+        for (const Lit l : phi_solver.core()) {
+          if (l.var() == ex[k].var) continue;
+          const aig::Ref in = manager.input(l.var());
+          beta_lits.push_back(l.negated() ? aig::ref_not(in) : in);
+        }
+        if (beta_lits.empty()) {
+          // β is empty: the documented repair failure mode (§5); nothing
+          // to strengthen or weaken with.
+          continue;
+        }
+        const aig::Ref beta = manager.and_all(beta_lits);
+        // Strengthen or weaken (line 13).
+        f[k] = sigma_yp[k] ? manager.and_gate(f[k], aig::ref_not(beta))
+                           : manager.or_gate(f[k], beta);
+        sigma_yp[k] = !sigma_yp[k];  // output on this counterexample flipped
+        ++repairs_this_cex;
+        ++stats.repairs;
+        for (const std::int32_t id : manager.support(beta)) {
+          if (!formula.is_existential(static_cast<Var>(id))) continue;
+          const std::size_t j =
+              formula.existential_index(static_cast<Var>(id));
+          if (dep.can_use(k, j) && !dep.depends_on(k, j)) {
+            dep.record_use(k, j);
+          }
+        }
+      } else {
+        // G_k is SAT: y_k can keep its output; some other candidate must
+        // move. Enqueue every y_t whose model value disagrees with its
+        // current output (lines 15-17).
+        const cnf::Assignment& rho = phi_solver.model();
+        for (std::size_t t = 0; t < m; ++t) {
+          if (t == k || in_yhat[t] || processed[t]) continue;
+          if (rho.value(ex[t].var) != sigma_yp[t]) queue.push_back(t);
+        }
+      }
+    }
+    stats.repair_seconds += phase_timer.seconds();
+    if (repairs_this_cex == 0) {
+      // No candidate could be repaired for this counterexample: the
+      // engine's documented incompleteness (§5). Retry a few rounds with
+      // randomized verification in case another counterexample is
+      // repairable, then give up.
+      if (++no_progress_rounds >= kMaxNoProgressRounds) {
+        return finish(SynthesisStatus::kIncomplete);
+      }
+    } else {
+      no_progress_rounds = 0;
+    }
+  }
+}
+
+}  // namespace manthan::core

@@ -1,0 +1,93 @@
+// Manthan3 — data-driven Henkin function synthesis (the paper's core
+// contribution; Algorithms 1-3).
+//
+// Pipeline:
+//   1. GetSamples      — constrained sampling of models of φ (sampler/).
+//   2. CandidateHkF    — per-existential decision-tree learning restricted
+//                        to Henkin-admissible features (dtree/, dependency
+//                        manager).
+//   3. Verification    — SAT check of E(X,Y') = ¬φ(X,Y') ∧ (Y' ↔ f).
+//   4. RepairHkF       — MaxSAT selection of repair candidates plus
+//                        UNSAT-core-guided strengthening/weakening.
+//   5. Substitute      — expand candidates so each f_i mentions only H_i.
+//
+// The engine is sound (returns only certified vectors) but not complete:
+// on instances where no admissible repair exists (paper §5) it reports
+// kIncomplete.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/unique_def.hpp"
+#include "dqbf/dqbf.hpp"
+#include "dtree/decision_tree.hpp"
+#include "sampler/sampler.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::core {
+
+struct Manthan3Options {
+  sampler::SamplerOptions sampler;
+  dtree::DtreeOptions dtree;
+  /// Run the UNIQUE-style preprocessing pass (ablation: abl3_unique_def).
+  bool use_unique_extraction = true;
+  UniqueDefOptions unique;
+  /// Constrain Ŷ in the repair formula G_k (ablation: abl1_repair_yhat;
+  /// §5 argues this is required for many repairs to succeed).
+  bool use_yhat_in_repair = true;
+  /// Give up after this many candidate-repair attempts in total.
+  std::size_t max_repair_iterations = 20000;
+  /// Give up after this many verification counterexamples.
+  std::size_t max_counterexamples = 2000;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_limit_seconds = 0.0;
+  std::uint64_t seed = 42;
+};
+
+enum class SynthesisStatus {
+  kRealizable,    // Henkin vector synthesized and verified
+  kUnrealizable,  // the DQBF is False
+  kIncomplete,    // engine's documented incompleteness: repair got stuck
+  kLimit,         // iteration limits exhausted
+  kTimeout,       // wall-clock budget exhausted
+};
+
+struct SynthesisStats {
+  std::size_t samples = 0;
+  std::size_t unique_defined = 0;
+  std::size_t learned_candidates = 0;
+  std::size_t counterexamples = 0;
+  std::size_t repairs = 0;
+  std::size_t repair_checks = 0;   // G_k satisfiability queries
+  std::size_t maxsat_calls = 0;
+  double sampling_seconds = 0.0;
+  double learning_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double repair_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct SynthesisResult {
+  SynthesisStatus status = SynthesisStatus::kLimit;
+  /// Valid when kRealizable: functions over H_i only (post-Substitute),
+  /// indexed like formula.existentials().
+  dqbf::HenkinVector vector;
+  SynthesisStats stats;
+};
+
+class Manthan3 {
+ public:
+  explicit Manthan3(Manthan3Options options = {});
+
+  /// Synthesize a Henkin vector for `formula`; functions are built in
+  /// `manager` (universal variables as input ids).
+  SynthesisResult synthesize(const dqbf::DqbfFormula& formula,
+                             aig::Aig& manager);
+
+ private:
+  Manthan3Options options_;
+};
+
+}  // namespace manthan::core

@@ -1,0 +1,93 @@
+#include "dqbf/certificate.hpp"
+
+#include <algorithm>
+
+#include "aig/aig_cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace manthan::dqbf {
+
+cnf::CnfFormula build_refutation_cnf(const DqbfFormula& formula,
+                                     const aig::Aig& manager,
+                                     const HenkinVector& vector) {
+  const cnf::CnfFormula& matrix = formula.matrix();
+  cnf::CnfFormula out(matrix.num_vars());
+
+  // ¬φ: one selector per clause asserting that the clause is falsified;
+  // at least one selector must fire. (One-sided Tseitin suffices for
+  // satisfiability-preserving negation.)
+  cnf::Clause selectors;
+  selectors.reserve(matrix.num_clauses());
+  for (const cnf::Clause& clause : matrix.clauses()) {
+    const cnf::Lit selector = cnf::pos(out.new_var());
+    for (const cnf::Lit l : clause) out.add_binary(~selector, ~l);
+    selectors.push_back(selector);
+  }
+  out.add_clause(selectors);
+
+  // Y ↔ f: encode every function cone and tie it to the Y variable.
+  // Functions may reference other Y variables (pre-Substitute candidates);
+  // those inputs map onto the corresponding Y variable, so the conjunction
+  // of equivalences realizes the composition.
+  for (std::size_t i = 0; i < formula.existentials().size(); ++i) {
+    const cnf::Lit root = aig::encode_cone(manager, vector.functions[i], out);
+    cnf::add_equivalence(out, cnf::pos(formula.existentials()[i].var), root);
+  }
+  return out;
+}
+
+CertificateResult check_certificate(const DqbfFormula& formula,
+                                    const aig::Aig& manager,
+                                    const HenkinVector& vector,
+                                    const util::Deadline* deadline) {
+  CertificateResult result;
+  if (vector.functions.size() != formula.existentials().size()) {
+    result.status = CertificateStatus::kDependencyError;
+    return result;
+  }
+  // Structural dependency check: support(f_i) ⊆ H_i.
+  for (std::size_t i = 0; i < vector.functions.size(); ++i) {
+    const std::vector<std::int32_t> ids =
+        manager.support(vector.functions[i]);
+    const std::vector<Var>& deps = formula.existentials()[i].deps;
+    for (const std::int32_t id : ids) {
+      if (!std::binary_search(deps.begin(), deps.end(),
+                              static_cast<Var>(id))) {
+        result.status = CertificateStatus::kDependencyError;
+        return result;
+      }
+    }
+  }
+
+  const cnf::CnfFormula refutation =
+      build_refutation_cnf(formula, manager, vector);
+  sat::Solver solver;
+  if (!solver.add_formula(refutation)) {
+    result.status = CertificateStatus::kValid;
+    return result;
+  }
+  const sat::Result sat_result = deadline != nullptr
+                                     ? solver.solve({}, *deadline)
+                                     : solver.solve();
+  switch (sat_result) {
+    case sat::Result::kUnsat:
+      result.status = CertificateStatus::kValid;
+      break;
+    case sat::Result::kSat: {
+      result.status = CertificateStatus::kInvalid;
+      cnf::Assignment cex(
+          static_cast<std::size_t>(formula.matrix().num_vars()));
+      for (Var v = 0; v < formula.matrix().num_vars(); ++v) {
+        cex.set(v, solver.model().value(v));
+      }
+      result.counterexample = std::move(cex);
+      break;
+    }
+    case sat::Result::kUnknown:
+      result.status = CertificateStatus::kUnknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace manthan::dqbf

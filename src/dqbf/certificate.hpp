@@ -1,0 +1,47 @@
+// Independent certificate checking for Henkin function vectors.
+//
+// Lemma 1 of the paper: f is a Henkin function vector iff
+// ¬φ(X,Y) ∧ (Y ↔ f) is UNSAT. The checker additionally enforces the
+// *structural* side condition that each f_i only mentions its Henkin
+// dependencies H_i. Every engine's output is validated through this module
+// in tests and in the portfolio harness, so correctness never rests on the
+// engine's own verification loop.
+#pragma once
+
+#include <optional>
+
+#include "aig/aig.hpp"
+#include "cnf/cnf.hpp"
+#include "dqbf/dqbf.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::dqbf {
+
+enum class CertificateStatus {
+  kValid,
+  kInvalid,          // a counterexample X-assignment exists
+  kDependencyError,  // some f_i structurally depends outside H_i
+  kUnknown,          // deadline expired
+};
+
+struct CertificateResult {
+  CertificateStatus status = CertificateStatus::kUnknown;
+  /// For kInvalid: a full assignment over matrix variables where the
+  /// substituted specification fails.
+  std::optional<cnf::Assignment> counterexample;
+};
+
+/// Check a candidate Henkin vector against the specification.
+CertificateResult check_certificate(const DqbfFormula& formula,
+                                    const aig::Aig& manager,
+                                    const HenkinVector& vector,
+                                    const util::Deadline* deadline = nullptr);
+
+/// Build the CNF of  ¬φ(X,Y) ∧ (Y ↔ f)  over the matrix variable space
+/// (auxiliary variables above). Exposed for reuse by the Manthan3
+/// verification step, which solves exactly this formula.
+cnf::CnfFormula build_refutation_cnf(const DqbfFormula& formula,
+                                     const aig::Aig& manager,
+                                     const HenkinVector& vector);
+
+}  // namespace manthan::dqbf

@@ -1,0 +1,89 @@
+#include "dqbf/dqbf.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace manthan::dqbf {
+
+void DqbfFormula::grow(Var v) {
+  if (static_cast<std::size_t>(v) >= kind_.size()) {
+    kind_.resize(static_cast<std::size_t>(v) + 1, 0);
+    exist_index_.resize(static_cast<std::size_t>(v) + 1, -1);
+  }
+  matrix_.ensure_vars(v + 1);
+}
+
+void DqbfFormula::add_universal(Var v) {
+  grow(v);
+  kind_[static_cast<std::size_t>(v)] = 1;
+  universals_.push_back(v);
+}
+
+void DqbfFormula::add_existential(Var v, std::vector<Var> deps) {
+  grow(v);
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  kind_[static_cast<std::size_t>(v)] = 2;
+  exist_index_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(existentials_.size());
+  existentials_.push_back({v, std::move(deps)});
+}
+
+bool DqbfFormula::is_universal(Var v) const {
+  return static_cast<std::size_t>(v) < kind_.size() &&
+         kind_[static_cast<std::size_t>(v)] == 1;
+}
+
+bool DqbfFormula::is_existential(Var v) const {
+  return static_cast<std::size_t>(v) < kind_.size() &&
+         kind_[static_cast<std::size_t>(v)] == 2;
+}
+
+std::size_t DqbfFormula::existential_index(Var v) const {
+  return static_cast<std::size_t>(
+      exist_index_[static_cast<std::size_t>(v)]);
+}
+
+bool DqbfFormula::deps_subset(std::size_t a, std::size_t b) const {
+  const auto& da = existentials_[a].deps;
+  const auto& db = existentials_[b].deps;
+  return std::includes(db.begin(), db.end(), da.begin(), da.end());
+}
+
+bool DqbfFormula::deps_equal(std::size_t a, std::size_t b) const {
+  return existentials_[a].deps == existentials_[b].deps;
+}
+
+bool DqbfFormula::is_skolem() const {
+  for (std::size_t i = 0; i < existentials_.size(); ++i) {
+    if (existentials_[i].deps.size() != universals_.size()) return false;
+  }
+  return true;
+}
+
+std::string DqbfFormula::validate() const {
+  std::ostringstream problems;
+  for (const Var v : universals_) {
+    if (is_existential(v)) {
+      problems << "variable " << v + 1 << " quantified both ways; ";
+    }
+  }
+  for (const Existential& e : existentials_) {
+    for (const Var d : e.deps) {
+      if (!is_universal(d)) {
+        problems << "dependency " << d + 1 << " of " << e.var + 1
+                 << " is not universal; ";
+      }
+    }
+  }
+  for (const cnf::Clause& c : matrix_.clauses()) {
+    for (const cnf::Lit l : c) {
+      if (!is_universal(l.var()) && !is_existential(l.var())) {
+        problems << "matrix variable " << l.var() + 1 << " unquantified; ";
+      }
+    }
+  }
+  return problems.str();
+}
+
+}  // namespace manthan::dqbf

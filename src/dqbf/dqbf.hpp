@@ -1,0 +1,79 @@
+// Dependency Quantified Boolean Formulas.
+//
+// A DQBF  ∀x1…xn ∃^{H1}y1 … ∃^{Hm}ym . φ(X,Y)  is stored as a CNF matrix
+// plus the universal block X and, per existential y_i, its Henkin
+// dependency set H_i ⊆ X. This is the input type of every synthesis
+// engine in the library and of the DQDIMACS parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "cnf/cnf.hpp"
+
+namespace manthan::dqbf {
+
+using cnf::CnfFormula;
+using cnf::Var;
+
+struct Existential {
+  Var var = cnf::kNoVar;
+  /// Henkin dependency set, sorted ascending.
+  std::vector<Var> deps;
+};
+
+class DqbfFormula {
+ public:
+  DqbfFormula() = default;
+
+  CnfFormula& matrix() { return matrix_; }
+  const CnfFormula& matrix() const { return matrix_; }
+
+  void add_universal(Var v);
+  /// Add an existential with explicit Henkin dependencies (deduplicated
+  /// and sorted internally).
+  void add_existential(Var v, std::vector<Var> deps);
+
+  const std::vector<Var>& universals() const { return universals_; }
+  const std::vector<Existential>& existentials() const {
+    return existentials_;
+  }
+  std::size_t num_universals() const { return universals_.size(); }
+  std::size_t num_existentials() const { return existentials_.size(); }
+
+  bool is_universal(Var v) const;
+  bool is_existential(Var v) const;
+  /// Index into existentials() for variable v (must be existential).
+  std::size_t existential_index(Var v) const;
+
+  /// True iff H_a ⊆ H_b (indices into existentials()).
+  bool deps_subset(std::size_t a, std::size_t b) const;
+  /// True iff H_a == H_b.
+  bool deps_equal(std::size_t a, std::size_t b) const;
+
+  /// True iff every existential depends on all universals (plain ∀∃ QBF).
+  bool is_skolem() const;
+
+  /// Check well-formedness: quantifier blocks disjoint, dependencies are
+  /// universal variables, every matrix variable is quantified. Returns an
+  /// empty string when valid, else a diagnostic.
+  std::string validate() const;
+
+ private:
+  CnfFormula matrix_;
+  std::vector<Var> universals_;
+  std::vector<Existential> existentials_;
+  std::vector<std::int8_t> kind_;           // 0 unknown, 1 universal, 2 exist
+  std::vector<std::int32_t> exist_index_;   // var -> index or -1
+  void grow(Var v);
+};
+
+/// A synthesized Henkin function vector: functions_[i] is an edge in
+/// `manager` for existentials()[i], with universal variables as AIG input
+/// ids.
+struct HenkinVector {
+  std::vector<aig::Ref> functions;
+};
+
+}  // namespace manthan::dqbf

@@ -1,0 +1,113 @@
+#include "dqbf/dqdimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manthan::dqbf {
+
+DqbfFormula parse_dqdimacs(std::istream& in) {
+  DqbfFormula formula;
+  std::vector<Var> universals_so_far;
+  bool saw_header = false;
+  std::string line;
+  cnf::Clause current;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (head == "c") continue;
+    if (head == "p") {
+      std::string fmt;
+      Var num_vars = 0;
+      std::size_t num_clauses = 0;
+      if (!(ls >> fmt >> num_vars >> num_clauses) || fmt != "cnf") {
+        throw std::runtime_error("dqdimacs: malformed problem line");
+      }
+      formula.matrix().ensure_vars(num_vars);
+      saw_header = true;
+      continue;
+    }
+    if (head == "a") {
+      std::int32_t v = 0;
+      while (ls >> v && v != 0) {
+        formula.add_universal(v - 1);
+        universals_so_far.push_back(v - 1);
+      }
+      continue;
+    }
+    if (head == "e") {
+      // Plain existential: depends on every universal declared so far.
+      std::int32_t v = 0;
+      while (ls >> v && v != 0) {
+        formula.add_existential(v - 1, universals_so_far);
+      }
+      continue;
+    }
+    if (head == "d") {
+      // d y x1 x2 ... 0 : explicit Henkin dependency set.
+      std::int32_t y = 0;
+      if (!(ls >> y) || y == 0) {
+        throw std::runtime_error("dqdimacs: malformed d-line");
+      }
+      std::vector<Var> deps;
+      std::int32_t x = 0;
+      while (ls >> x && x != 0) deps.push_back(x - 1);
+      formula.add_existential(y - 1, std::move(deps));
+      continue;
+    }
+    // Otherwise the line starts a clause (head is the first literal).
+    std::int32_t value = std::stoi(head);
+    while (true) {
+      if (value == 0) {
+        formula.matrix().add_clause(current);
+        current.clear();
+        break;
+      }
+      current.push_back(cnf::Lit::from_dimacs(value));
+      if (!(ls >> value)) break;  // clause may continue on the next line
+    }
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dqdimacs: clause not terminated by 0");
+  }
+  if (!saw_header) throw std::runtime_error("dqdimacs: missing problem line");
+  const std::string problems = formula.validate();
+  if (!problems.empty()) {
+    throw std::runtime_error("dqdimacs: " + problems);
+  }
+  return formula;
+}
+
+DqbfFormula parse_dqdimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dqdimacs(in);
+}
+
+void write_dqdimacs(std::ostream& out, const DqbfFormula& formula) {
+  out << "p cnf " << formula.matrix().num_vars() << ' '
+      << formula.matrix().num_clauses() << '\n';
+  if (!formula.universals().empty()) {
+    out << 'a';
+    for (const Var v : formula.universals()) out << ' ' << v + 1;
+    out << " 0\n";
+  }
+  for (const Existential& e : formula.existentials()) {
+    out << "d " << e.var + 1;
+    for (const Var d : e.deps) out << ' ' << d + 1;
+    out << " 0\n";
+  }
+  for (const cnf::Clause& c : formula.matrix().clauses()) {
+    for (const cnf::Lit l : c) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+std::string to_dqdimacs_string(const DqbfFormula& formula) {
+  std::ostringstream out;
+  write_dqdimacs(out, formula);
+  return out.str();
+}
+
+}  // namespace manthan::dqbf

@@ -1,0 +1,21 @@
+// DQDIMACS parsing and writing — the input format of the DQBF track of
+// QBFEval (a-lines for universals, e-lines for plain existentials that
+// depend on all universals declared so far, d-lines for explicit Henkin
+// dependencies).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dqbf/dqbf.hpp"
+
+namespace manthan::dqbf {
+
+/// Parse DQDIMACS. Throws std::runtime_error on malformed input.
+DqbfFormula parse_dqdimacs(std::istream& in);
+DqbfFormula parse_dqdimacs_string(const std::string& text);
+
+void write_dqdimacs(std::ostream& out, const DqbfFormula& formula);
+std::string to_dqdimacs_string(const DqbfFormula& formula);
+
+}  // namespace manthan::dqbf

@@ -1,0 +1,212 @@
+#include "dqbf/spec_builder.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "aig/aig_cnf.hpp"
+
+namespace manthan::dqbf {
+
+namespace {
+
+/// Minimal recursive-descent parser over a string view with position
+/// tracking for error messages.
+class Parser {
+ public:
+  Parser(const std::string& text, aig::Aig& manager,
+         const std::unordered_map<std::string, Var>& vars)
+      : text_(text), manager_(manager), vars_(vars) {}
+
+  aig::Ref parse() {
+    const aig::Ref result = parse_equiv();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing input");
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("spec: " + what + " at position " +
+                             std::to_string(pos_) + " in '" + text_ + "'");
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool match(const std::string& token) {
+    skip_space();
+    if (text_.compare(pos_, token.size(), token) != 0) return false;
+    // "->" must not consume the prefix of "<->" handled by caller order;
+    // "-" is never a standalone token here.
+    pos_ += token.size();
+    return true;
+  }
+
+  aig::Ref parse_equiv() {
+    aig::Ref lhs = parse_impl();
+    while (match("<->")) lhs = manager_.equiv_gate(lhs, parse_impl());
+    return lhs;
+  }
+
+  aig::Ref parse_impl() {
+    const aig::Ref lhs = parse_or();
+    // Right-associative: a -> b -> c == a -> (b -> c).
+    skip_space();
+    if (match("->")) return manager_.implies_gate(lhs, parse_impl());
+    return lhs;
+  }
+
+  aig::Ref parse_or() {
+    aig::Ref lhs = parse_xor();
+    while (true) {
+      skip_space();
+      // Don't confuse '|' with nothing else; single char.
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        lhs = manager_.or_gate(lhs, parse_xor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  aig::Ref parse_xor() {
+    aig::Ref lhs = parse_and();
+    while (match("^")) lhs = manager_.xor_gate(lhs, parse_and());
+    return lhs;
+  }
+
+  aig::Ref parse_and() {
+    aig::Ref lhs = parse_unary();
+    while (true) {
+      skip_space();
+      if (pos_ < text_.size() && text_[pos_] == '&') {
+        ++pos_;
+        lhs = manager_.and_gate(lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  aig::Ref parse_unary() {
+    skip_space();
+    if (match("!")) return aig::ref_not(parse_unary());
+    return parse_primary();
+  }
+
+  aig::Ref parse_primary() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      const aig::Ref inner = parse_equiv();
+      skip_space();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        fail("expected ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '0' || c == '1') {
+      ++pos_;
+      return aig::Aig::constant(c == '1');
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      const std::string name = text_.substr(pos_, end - pos_);
+      const auto it = vars_.find(name);
+      if (it == vars_.end()) fail("unknown variable '" + name + "'");
+      pos_ = end;
+      return manager_.input(it->second);
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& text_;
+  aig::Aig& manager_;
+  const std::unordered_map<std::string, Var>& vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SpecBuilder::SpecBuilder() = default;
+
+Var SpecBuilder::add_universal(const std::string& name) {
+  if (var_of_name_.count(name) != 0) {
+    throw std::runtime_error("spec: duplicate variable '" + name + "'");
+  }
+  const Var v = next_var_++;
+  var_of_name_.emplace(name, v);
+  universals_.emplace_back(name, v);
+  return v;
+}
+
+Var SpecBuilder::add_existential(const std::string& name,
+                                 const std::vector<std::string>& deps) {
+  if (var_of_name_.count(name) != 0) {
+    throw std::runtime_error("spec: duplicate variable '" + name + "'");
+  }
+  std::vector<Var> dep_vars;
+  dep_vars.reserve(deps.size());
+  for (const std::string& d : deps) {
+    const auto it = var_of_name_.find(d);
+    if (it == var_of_name_.end()) {
+      throw std::runtime_error("spec: unknown dependency '" + d + "'");
+    }
+    dep_vars.push_back(it->second);
+  }
+  const Var v = next_var_++;
+  var_of_name_.emplace(name, v);
+  existentials_.emplace_back(name, std::move(dep_vars));
+  return v;
+}
+
+Var SpecBuilder::var(const std::string& name) const {
+  const auto it = var_of_name_.find(name);
+  if (it == var_of_name_.end()) {
+    throw std::runtime_error("spec: unknown variable '" + name + "'");
+  }
+  return it->second;
+}
+
+void SpecBuilder::add_constraint(const std::string& expression) {
+  Parser parser(expression, manager_, var_of_name_);
+  constraints_.push_back(parser.parse());
+}
+
+DqbfFormula SpecBuilder::build() const {
+  DqbfFormula formula;
+  std::vector<Var> universal_vars;
+  for (const auto& [name, v] : universals_) {
+    (void)name;
+    formula.add_universal(v);
+    universal_vars.push_back(v);
+  }
+  std::unordered_map<std::string, Var> dummy;
+  for (const auto& [name, deps] : existentials_) {
+    formula.add_existential(var(name), deps);
+  }
+  const aig::Ref all = manager_.and_all(constraints_);
+  const Var before = formula.matrix().num_vars();
+  const cnf::Lit root = aig::encode_cone(manager_, all, formula.matrix());
+  const Var after = formula.matrix().num_vars();
+  for (Var v = before; v < after; ++v) {
+    formula.add_existential(v, universal_vars);
+  }
+  formula.matrix().add_unit(root);
+  return formula;
+}
+
+}  // namespace manthan::dqbf

@@ -1,0 +1,69 @@
+// SpecBuilder — a human-friendly front end for constructing DQBF
+// specifications from named variables and infix Boolean expressions,
+// without writing DQDIMACS by hand.
+//
+//   SpecBuilder b;
+//   b.add_universal("x1");  b.add_universal("x2");
+//   b.add_existential("y1", {"x1"});
+//   b.add_constraint("y1 <-> (x1 & !x2)");
+//   dqbf::DqbfFormula f = b.build();
+//
+// Expression grammar (precedence low to high):
+//   equiv  := impl ( "<->" impl )*
+//   impl   := or ( "->" or )*          (right-associative)
+//   or     := xor ( "|" xor )*
+//   xor    := and ( "^" and )*
+//   and    := unary ( "&" unary )*
+//   unary  := "!" unary | primary
+//   primary:= "0" | "1" | identifier | "(" equiv ")"
+//
+// Constraints are conjoined and Tseitin-encoded; auxiliary variables are
+// declared as existentials over all universals (they are deterministic
+// functions of the circuit's inputs).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "dqbf/dqbf.hpp"
+
+namespace manthan::dqbf {
+
+class SpecBuilder {
+ public:
+  SpecBuilder();
+
+  /// Declare a universal variable. Throws on duplicate names.
+  Var add_universal(const std::string& name);
+  /// Declare an existential with named Henkin dependencies (must already
+  /// be declared universals).
+  Var add_existential(const std::string& name,
+                      const std::vector<std::string>& deps);
+
+  /// Parse and record a constraint. Throws std::runtime_error with a
+  /// position-annotated message on syntax errors or unknown identifiers.
+  void add_constraint(const std::string& expression);
+
+  /// Matrix variable of a declared name.
+  Var var(const std::string& name) const;
+
+  /// Number of constraints recorded so far.
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  /// Assemble the DQBF (conjunction of all constraints, Tseitin-encoded).
+  DqbfFormula build() const;
+
+ private:
+  aig::Ref parse_expression(const std::string& text) const;
+
+  std::vector<std::pair<std::string, Var>> universals_;
+  std::vector<std::pair<std::string, std::vector<Var>>> existentials_;
+  std::unordered_map<std::string, Var> var_of_name_;
+  Var next_var_ = 0;
+  mutable aig::Aig manager_;
+  std::vector<aig::Ref> constraints_;
+};
+
+}  // namespace manthan::dqbf

@@ -1,0 +1,84 @@
+#include "dqbf/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace manthan::dqbf {
+
+InstanceStats compute_stats(const DqbfFormula& formula) {
+  InstanceStats stats;
+  stats.num_universals = formula.num_universals();
+  stats.num_existentials = formula.num_existentials();
+  stats.num_clauses = formula.matrix().num_clauses();
+  for (const cnf::Clause& c : formula.matrix().clauses()) {
+    stats.num_literals += c.size();
+  }
+
+  const auto& ex = formula.existentials();
+  const std::size_t m = ex.size();
+
+  // X_common.
+  std::vector<Var> common;
+  if (m == 0) {
+    common = formula.universals();
+  } else {
+    common = ex[0].deps;
+    for (std::size_t i = 1; i < m; ++i) {
+      std::vector<Var> next;
+      std::set_intersection(common.begin(), common.end(),
+                            ex[i].deps.begin(), ex[i].deps.end(),
+                            std::back_inserter(next));
+      common = std::move(next);
+    }
+  }
+  stats.common_dependency_core = common.size();
+  stats.nonlinear_universals = formula.num_universals() - common.size();
+
+  double density_sum = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (ex[i].deps.size() == formula.num_universals()) {
+      ++stats.full_dependency_outputs;
+    }
+    if (formula.num_universals() > 0) {
+      density_sum += static_cast<double>(ex[i].deps.size()) /
+                     static_cast<double>(formula.num_universals());
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (formula.deps_subset(i, j)) ++stats.subset_pairs;
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (!formula.deps_subset(i, j) && !formula.deps_subset(j, i)) {
+        ++stats.incomparable_pairs;
+      }
+    }
+  }
+  stats.dependency_density = m > 0 ? density_sum / static_cast<double>(m)
+                                   : 0.0;
+  return stats;
+}
+
+void print_stats_header(std::ostream& out) {
+  out << std::left << std::setw(28) << "instance" << std::right
+      << std::setw(6) << "|X|" << std::setw(6) << "|Y|" << std::setw(8)
+      << "clauses" << std::setw(8) << "common" << std::setw(8) << "nonlin"
+      << std::setw(8) << "subset" << std::setw(8) << "incomp"
+      << std::setw(8) << "full" << std::setw(9) << "density" << '\n';
+}
+
+void print_stats_row(std::ostream& out, const std::string& label,
+                     const InstanceStats& s) {
+  out << std::left << std::setw(28) << label << std::right << std::setw(6)
+      << s.num_universals << std::setw(6) << s.num_existentials
+      << std::setw(8) << s.num_clauses << std::setw(8)
+      << s.common_dependency_core << std::setw(8) << s.nonlinear_universals
+      << std::setw(8) << s.subset_pairs << std::setw(8)
+      << s.incomparable_pairs << std::setw(8) << s.full_dependency_outputs
+      << std::setw(9) << std::fixed << std::setprecision(3)
+      << s.dependency_density << '\n';
+}
+
+}  // namespace manthan::dqbf

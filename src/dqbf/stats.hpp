@@ -1,0 +1,47 @@
+// Structural statistics of DQBF instances.
+//
+// The evaluation narrative of the paper rests on instance structure:
+// elimination-based solving is sensitive to the *non-linear* part of the
+// dependency lattice (variables that must be expanded), definition
+// extraction to how many outputs are uniquely determined, and learning to
+// output distribution skew. This module quantifies the structural side so
+// the per-family benchmark breakdown can relate engine behaviour to
+// instance shape.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "dqbf/dqbf.hpp"
+
+namespace manthan::dqbf {
+
+struct InstanceStats {
+  std::size_t num_universals = 0;
+  std::size_t num_existentials = 0;
+  std::size_t num_clauses = 0;
+  std::size_t num_literals = 0;
+  /// Size of X_common = ∩ H_i (what elimination may keep).
+  std::size_t common_dependency_core = 0;
+  /// Universals outside X_common (what elimination must expand).
+  std::size_t nonlinear_universals = 0;
+  /// Ordered pairs (i, j), i != j, with H_i ⊆ H_j (the admissible
+  /// Y-feature edges of Manthan3's candidate learning).
+  std::size_t subset_pairs = 0;
+  /// Unordered pairs with incomparable dependency sets (the structures
+  /// behind the paper's incompleteness discussion).
+  std::size_t incomparable_pairs = 0;
+  /// Existentials depending on every universal (Skolem-like outputs).
+  std::size_t full_dependency_outputs = 0;
+  /// Mean |H_i| / |X| (1.0 for a plain QBF; 0 when X is empty).
+  double dependency_density = 0.0;
+};
+
+InstanceStats compute_stats(const DqbfFormula& formula);
+
+/// One-line rendering used by the suite-statistics bench.
+void print_stats_row(std::ostream& out, const std::string& label,
+                     const InstanceStats& stats);
+void print_stats_header(std::ostream& out);
+
+}  // namespace manthan::dqbf

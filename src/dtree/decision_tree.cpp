@@ -1,0 +1,169 @@
+#include "dtree/decision_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace manthan::dtree {
+
+namespace {
+
+/// Gini impurity of a (pos, total) split part.
+double gini(std::size_t pos, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::fit(const std::vector<std::vector<bool>>& rows,
+                               const std::vector<bool>& labels,
+                               const DtreeOptions& options) {
+  assert(rows.size() == labels.size());
+  DecisionTree tree;
+  std::vector<std::uint32_t> indices(rows.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<std::uint32_t>(i);
+  }
+  if (rows.empty()) {
+    tree.nodes_.push_back({-1, -1, -1, false});
+  } else {
+    tree.build(rows, labels, indices, 0, options);
+  }
+  return tree;
+}
+
+std::int32_t DecisionTree::build(const std::vector<std::vector<bool>>& rows,
+                                 const std::vector<bool>& labels,
+                                 std::vector<std::uint32_t>& indices,
+                                 std::size_t depth,
+                                 const DtreeOptions& options) {
+  const std::size_t total = indices.size();
+  std::size_t positives = 0;
+  for (const std::uint32_t i : indices) {
+    if (labels[i]) ++positives;
+  }
+  const bool majority = positives * 2 >= total;
+
+  const auto make_leaf = [&](bool label) {
+    const auto id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back({-1, -1, -1, label});
+    return id;
+  };
+
+  const bool pure = positives == 0 || positives == total;
+  const bool depth_capped =
+      options.max_depth != 0 && depth >= options.max_depth;
+  if (pure || depth_capped || total < options.min_samples_split) {
+    return make_leaf(majority);
+  }
+
+  // Choose the feature with the best Gini gain.
+  const std::size_t num_features = rows[0].size();
+  const double parent_impurity = gini(positives, total);
+  double best_gain = options.min_gain;
+  std::int32_t best_feature = -1;
+  for (std::size_t f = 0; f < num_features; ++f) {
+    std::size_t hi_total = 0;
+    std::size_t hi_pos = 0;
+    for (const std::uint32_t i : indices) {
+      if (rows[i][f]) {
+        ++hi_total;
+        if (labels[i]) ++hi_pos;
+      }
+    }
+    const std::size_t lo_total = total - hi_total;
+    const std::size_t lo_pos = positives - hi_pos;
+    if (hi_total == 0 || lo_total == 0) continue;  // useless split
+    const double weighted =
+        (static_cast<double>(hi_total) * gini(hi_pos, hi_total) +
+         static_cast<double>(lo_total) * gini(lo_pos, lo_total)) /
+        static_cast<double>(total);
+    const double gain = parent_impurity - weighted;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = static_cast<std::int32_t>(f);
+    }
+  }
+  if (best_feature < 0) return make_leaf(majority);
+
+  std::vector<std::uint32_t> lo_indices;
+  std::vector<std::uint32_t> hi_indices;
+  for (const std::uint32_t i : indices) {
+    (rows[i][static_cast<std::size_t>(best_feature)] ? hi_indices
+                                                     : lo_indices)
+        .push_back(i);
+  }
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({best_feature, -1, -1, false});
+  const std::int32_t lo = build(rows, labels, lo_indices, depth + 1, options);
+  const std::int32_t hi = build(rows, labels, hi_indices, depth + 1, options);
+  nodes_[static_cast<std::size_t>(id)].lo = lo;
+  nodes_[static_cast<std::size_t>(id)].hi = hi;
+  return id;
+}
+
+bool DecisionTree::predict(const std::vector<bool>& row) const {
+  std::int32_t n = 0;
+  while (nodes_[static_cast<std::size_t>(n)].feature >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    n = row[static_cast<std::size_t>(node.feature)] ? node.hi : node.lo;
+  }
+  return nodes_[static_cast<std::size_t>(n)].label;
+}
+
+aig::Ref DecisionTree::to_aig(aig::Aig& manager,
+                              const std::vector<aig::Ref>& feature_refs) const {
+  // Disjunction over all paths from the root to leaves labeled 1
+  // (Algorithm 2, lines 7-10).
+  std::vector<aig::Ref> paths;
+  std::vector<aig::Ref> prefix;
+  const std::function<void(std::int32_t)> walk = [&](std::int32_t n) {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.feature < 0) {
+      if (node.label) paths.push_back(manager.and_all(prefix));
+      return;
+    }
+    const aig::Ref f = feature_refs[static_cast<std::size_t>(node.feature)];
+    prefix.push_back(aig::ref_not(f));
+    walk(node.lo);
+    prefix.back() = f;
+    walk(node.hi);
+    prefix.pop_back();
+  };
+  walk(0);
+  return manager.or_all(paths);
+}
+
+std::vector<std::int32_t> DecisionTree::used_features() const {
+  std::vector<std::int32_t> features;
+  for (const Node& n : nodes_) {
+    if (n.feature >= 0) features.push_back(n.feature);
+  }
+  std::sort(features.begin(), features.end());
+  features.erase(std::unique(features.begin(), features.end()),
+                 features.end());
+  return features;
+}
+
+std::size_t DecisionTree::num_leaves() const {
+  std::size_t count = 0;
+  for (const Node& n : nodes_) {
+    if (n.feature < 0) ++count;
+  }
+  return count;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth via recursive descent (trees are small).
+  const std::function<std::size_t(std::int32_t)> walk =
+      [&](std::int32_t n) -> std::size_t {
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.feature < 0) return 0;
+    return 1 + std::max(walk(node.lo), walk(node.hi));
+  };
+  return walk(0);
+}
+
+}  // namespace manthan::dtree

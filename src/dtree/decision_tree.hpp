@@ -1,0 +1,67 @@
+// Binary decision-tree learning (ID3 with the Gini impurity measure).
+//
+// Role in the paper: scikit-learn's DecisionTreeClassifier. CandidateHkF
+// (Algorithm 2) fits one tree per existential variable: rows are sampled
+// models, features are the Henkin dependencies H_i plus admissible Y
+// variables, labels are the sampled values of y_i. The candidate function
+// is the disjunction of all root-to-leaf paths ending in a leaf labeled 1,
+// extracted here directly as an AIG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace manthan::dtree {
+
+struct DtreeOptions {
+  /// Maximum tree depth; 0 means unlimited.
+  std::size_t max_depth = 0;
+  /// Do not split nodes with fewer samples than this.
+  std::size_t min_samples_split = 2;
+  /// Minimum Gini gain required to accept a split.
+  double min_gain = 1e-9;
+};
+
+/// A fitted tree. Node 0 is the root; leaves carry the predicted label.
+class DecisionTree {
+ public:
+  struct Node {
+    std::int32_t feature = -1;  // -1 for leaves
+    std::int32_t lo = -1;       // child for feature == false
+    std::int32_t hi = -1;       // child for feature == true
+    bool label = false;         // leaf prediction
+  };
+
+  /// Fit from dense boolean rows. `rows[s][f]` is feature f of sample s.
+  static DecisionTree fit(const std::vector<std::vector<bool>>& rows,
+                          const std::vector<bool>& labels,
+                          const DtreeOptions& options = {});
+
+  bool predict(const std::vector<bool>& row) const;
+
+  /// Build the path formula: OR over all root-to-leaf(1) paths of the AND
+  /// of edge literals. `feature_refs[f]` supplies the AIG edge for
+  /// feature f.
+  aig::Ref to_aig(aig::Aig& manager,
+                  const std::vector<aig::Ref>& feature_refs) const;
+
+  /// Features actually used by some internal node.
+  std::vector<std::int32_t> used_features() const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const;
+  std::size_t depth() const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  std::int32_t build(const std::vector<std::vector<bool>>& rows,
+                     const std::vector<bool>& labels,
+                     std::vector<std::uint32_t>& indices, std::size_t depth,
+                     const DtreeOptions& options);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace manthan::dtree

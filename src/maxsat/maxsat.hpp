@@ -1,0 +1,67 @@
+// Partial MaxSAT via the Fu-Malik core-guided algorithm.
+//
+// Role in the paper: Open-WBO. Manthan3's FindCandi subroutine makes one
+// partial-MaxSAT call per counterexample: the specification plus the
+// X-valuation are hard constraints, and (y_i <-> sigma[y'_i]) units are
+// soft; the soft clauses falsified in an optimal solution identify the
+// candidate functions that must be repaired.
+//
+// Algorithm: repeatedly solve with one fresh selector literal per active
+// soft clause assumed; every UNSAT core yields a set of soft clauses that
+// cannot all hold, each of which gets a relaxation variable with an
+// at-most-one side constraint; the number of iterations equals the optimum.
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::maxsat {
+
+using cnf::Assignment;
+using cnf::Clause;
+using cnf::CnfFormula;
+using cnf::Lit;
+using cnf::Var;
+
+enum class MaxSatStatus { kOptimal, kUnsatisfiableHard, kUnknown };
+
+class MaxSatSolver {
+ public:
+  MaxSatSolver();
+
+  /// Declare the user variable space; solver-internal selector variables
+  /// live above this range and never leak into the reported model.
+  void ensure_vars(Var n);
+
+  void add_hard(Clause clause);
+  void add_hard_formula(const CnfFormula& formula);
+
+  /// Add a soft clause (weight 1); returns its index.
+  std::size_t add_soft(Clause clause);
+
+  /// Solve to optimality (or until the deadline expires).
+  MaxSatStatus solve(const util::Deadline* deadline = nullptr);
+
+  /// Minimum number of falsified soft clauses; valid after kOptimal.
+  std::size_t cost() const { return cost_; }
+
+  /// Optimal assignment restricted to user variables.
+  const Assignment& model() const { return model_; }
+
+  /// Whether soft clause `index` holds in the optimal assignment.
+  bool soft_satisfied(std::size_t index) const;
+
+ private:
+  sat::Solver solver_;
+  Var user_vars_ = 0;
+  std::vector<Clause> soft_original_;   // as given by the caller
+  std::vector<Clause> soft_working_;    // original + relaxation literals
+  std::vector<Lit> soft_selector_;      // current selector per soft clause
+  std::size_t cost_ = 0;
+  Assignment model_;
+  bool hard_conflict_ = false;
+};
+
+}  // namespace manthan::maxsat

@@ -1,0 +1,229 @@
+#include "portfolio/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "baselines/hqs_lite.hpp"
+#include "baselines/pedant_lite.hpp"
+#include "dqbf/certificate.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::portfolio {
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kManthan3: return "Manthan3";
+    case EngineKind::kHqsLite: return "HqsLite";
+    case EngineKind::kPedantLite: return "PedantLite";
+  }
+  return "?";
+}
+
+const char* status_name(core::SynthesisStatus status) {
+  switch (status) {
+    case core::SynthesisStatus::kRealizable: return "realizable";
+    case core::SynthesisStatus::kUnrealizable: return "unrealizable";
+    case core::SynthesisStatus::kIncomplete: return "incomplete";
+    case core::SynthesisStatus::kLimit: return "limit";
+    case core::SynthesisStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+Runner::Runner(RunnerOptions options) : options_(options) {}
+
+RunRecord Runner::run_one(const workloads::Instance& instance,
+                          EngineKind engine) {
+  RunRecord record;
+  record.instance = instance.name;
+  record.family = instance.family;
+  record.engine = engine;
+
+  aig::Aig manager;
+  util::Timer timer;
+  core::SynthesisResult result;
+  switch (engine) {
+    case EngineKind::kManthan3: {
+      core::Manthan3Options opts = options_.manthan3;
+      opts.time_limit_seconds = options_.per_instance_seconds;
+      opts.seed = options_.seed;
+      core::Manthan3 synthesizer(opts);
+      result = synthesizer.synthesize(instance.formula, manager);
+      break;
+    }
+    case EngineKind::kHqsLite: {
+      baselines::HqsLiteOptions opts;
+      opts.time_limit_seconds = options_.per_instance_seconds;
+      baselines::HqsLite synthesizer(opts);
+      result = synthesizer.synthesize(instance.formula, manager);
+      break;
+    }
+    case EngineKind::kPedantLite: {
+      baselines::PedantLiteOptions opts;
+      opts.time_limit_seconds = options_.per_instance_seconds;
+      baselines::PedantLite synthesizer(opts);
+      result = synthesizer.synthesize(instance.formula, manager);
+      break;
+    }
+  }
+  record.seconds = timer.seconds();
+  record.status = result.status;
+  record.stats = result.stats;
+  if (result.status == core::SynthesisStatus::kRealizable) {
+    const dqbf::CertificateResult cert =
+        dqbf::check_certificate(instance.formula, manager, result.vector);
+    record.certified = cert.status == dqbf::CertificateStatus::kValid;
+  }
+  return record;
+}
+
+std::vector<RunRecord> Runner::run_suite(
+    const std::vector<workloads::Instance>& suite,
+    const std::vector<EngineKind>& engines) {
+  std::vector<RunRecord> records;
+  records.reserve(suite.size() * engines.size());
+  for (const workloads::Instance& instance : suite) {
+    for (const EngineKind engine : engines) {
+      records.push_back(run_one(instance, engine));
+    }
+  }
+  return records;
+}
+
+namespace {
+
+/// instance -> engine -> solving time (only solved runs).
+std::map<std::string, std::map<EngineKind, double>> solved_times(
+    const std::vector<RunRecord>& records) {
+  std::map<std::string, std::map<EngineKind, double>> times;
+  for (const RunRecord& r : records) {
+    if (r.solved()) times[r.instance][r.engine] = r.seconds;
+  }
+  return times;
+}
+
+std::vector<std::string> all_instances(const std::vector<RunRecord>& records) {
+  std::vector<std::string> names;
+  for (const RunRecord& r : records) names.push_back(r.instance);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+/// Min time of any engine in `engines` on `instance`; +inf when unsolved.
+double best_time(const std::map<std::string, std::map<EngineKind, double>>& t,
+                 const std::string& instance,
+                 const std::vector<EngineKind>& engines) {
+  double best = std::numeric_limits<double>::infinity();
+  const auto it = t.find(instance);
+  if (it == t.end()) return best;
+  for (const EngineKind e : engines) {
+    const auto et = it->second.find(e);
+    if (et != it->second.end()) best = std::min(best, et->second);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> vbs_cactus_series(const std::vector<RunRecord>& records,
+                                      const std::vector<EngineKind>& engines) {
+  const auto times = solved_times(records);
+  std::vector<double> series;
+  for (const std::string& instance : all_instances(records)) {
+    const double t = best_time(times, instance, engines);
+    if (t < std::numeric_limits<double>::infinity()) series.push_back(t);
+  }
+  std::sort(series.begin(), series.end());
+  return series;
+}
+
+std::vector<ScatterPoint> scatter_points(
+    const std::vector<RunRecord>& records,
+    const std::vector<EngineKind>& x_engines,
+    const std::vector<EngineKind>& y_engines, double timeout_value) {
+  const auto times = solved_times(records);
+  std::vector<ScatterPoint> points;
+  for (const std::string& instance : all_instances(records)) {
+    const double x = best_time(times, instance, x_engines);
+    const double y = best_time(times, instance, y_engines);
+    points.push_back(
+        {instance, std::isfinite(x) ? x : timeout_value,
+         std::isfinite(y) ? y : timeout_value});
+  }
+  return points;
+}
+
+SolvedCounts compute_solved_counts(const std::vector<RunRecord>& records) {
+  SolvedCounts counts;
+  const auto times = solved_times(records);
+  const std::vector<std::string> instances = all_instances(records);
+  counts.total_instances = instances.size();
+
+  // Index Manthan3's non-solved statuses for the incompleteness split.
+  std::map<std::string, core::SynthesisStatus> manthan3_status;
+  for (const RunRecord& r : records) {
+    if (r.engine == EngineKind::kManthan3) manthan3_status[r.instance] = r.status;
+    if (r.status == core::SynthesisStatus::kUnrealizable) {
+      // counted once per record; summarized below per instance
+    }
+  }
+  std::map<std::string, bool> unrealizable;
+  for (const RunRecord& r : records) {
+    if (r.status == core::SynthesisStatus::kUnrealizable) {
+      unrealizable[r.instance] = true;
+    }
+  }
+  for (const auto& [instance, flag] : unrealizable) {
+    (void)instance;
+    if (flag) ++counts.unrealizable_detected;
+  }
+
+  const std::vector<EngineKind> m3{EngineKind::kManthan3};
+  const std::vector<EngineKind> hqs{EngineKind::kHqsLite};
+  const std::vector<EngineKind> pedant{EngineKind::kPedantLite};
+  const std::vector<EngineKind> baselines{EngineKind::kHqsLite,
+                                          EngineKind::kPedantLite};
+  const std::vector<EngineKind> all{EngineKind::kManthan3,
+                                    EngineKind::kHqsLite,
+                                    EngineKind::kPedantLite};
+  for (const std::string& instance : instances) {
+    const double tm = best_time(times, instance, m3);
+    const double th = best_time(times, instance, hqs);
+    const double tp = best_time(times, instance, pedant);
+    const double tb = best_time(times, instance, baselines);
+    const bool sm = std::isfinite(tm);
+    const bool sh = std::isfinite(th);
+    const bool sp = std::isfinite(tp);
+    const bool sb = std::isfinite(tb);
+    if (sm) ++counts.solved_manthan3;
+    if (sh) ++counts.solved_hqs;
+    if (sp) ++counts.solved_pedant;
+    if (sb) ++counts.vbs_without_manthan3;
+    if (sm || sb) ++counts.vbs_with_manthan3;
+    if (sm && !sb) ++counts.manthan3_unique;
+    if (sm && !sh) ++counts.manthan3_not_hqs;
+    if (sm && !sp) ++counts.manthan3_not_pedant;
+    if (!sm && sb) {
+      ++counts.others_not_manthan3;
+      const auto it = manthan3_status.find(instance);
+      if (it != manthan3_status.end()) {
+        if (it->second == core::SynthesisStatus::kIncomplete) {
+          ++counts.manthan3_incomplete;
+        } else {
+          ++counts.manthan3_timeout;
+        }
+      }
+    }
+    if (sm) {
+      const double others = best_time(times, instance, baselines);
+      if (tm < others) ++counts.manthan3_fastest;
+    }
+    (void)all;
+  }
+  return counts;
+}
+
+}  // namespace manthan::portfolio

@@ -1,0 +1,35 @@
+// Text rendering of the paper's figures and tables.
+//
+// The benches print these to stdout; EXPERIMENTS.md records the output
+// next to the paper's reported numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "portfolio/runner.hpp"
+
+namespace manthan::portfolio {
+
+/// Cactus plot (Fig 6): "instances solved within t seconds" series, one
+/// row per solved instance, for any number of named series.
+void print_cactus(std::ostream& out,
+                  const std::vector<std::string>& series_names,
+                  const std::vector<std::vector<double>>& series);
+
+/// Scatter plot (Figs 7-10): one row per instance with both runtimes;
+/// `timeout_value` marks unsolved sides.
+void print_scatter(std::ostream& out, const std::string& x_name,
+                   const std::string& y_name,
+                   const std::vector<ScatterPoint>& points,
+                   double timeout_value);
+
+/// Headline counts table (§6 text).
+void print_solved_counts(std::ostream& out, const SolvedCounts& counts);
+
+/// Per-run detail table (engine × instance with status and time).
+void print_run_records(std::ostream& out,
+                       const std::vector<RunRecord>& records);
+
+}  // namespace manthan::portfolio

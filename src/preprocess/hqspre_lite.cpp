@@ -1,0 +1,238 @@
+#include "preprocess/hqspre_lite.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace manthan::preprocess {
+
+using cnf::Clause;
+using cnf::Lit;
+using dqbf::Var;
+
+namespace {
+
+/// Normalize a clause: sort, dedupe; returns nullopt for tautologies.
+std::optional<Clause> normalize(Clause clause) {
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i].var() == clause[i + 1].var()) return std::nullopt;
+  }
+  return clause;
+}
+
+}  // namespace
+
+PreprocessResult HqspreLite::run(const dqbf::DqbfFormula& formula) const {
+  PreprocessResult result;
+  PreprocessStats& stats = result.stats;
+
+  // Working clause set (normalized, deduplicated).
+  std::set<Clause> clauses;
+  for (const Clause& c : formula.matrix().clauses()) {
+    const std::optional<Clause> n = normalize(c);
+    if (!n.has_value()) {
+      ++stats.tautologies_removed;
+      continue;
+    }
+    clauses.insert(*n);
+  }
+
+  // Forced constants for existentials discovered so far.
+  std::map<Var, bool> forced;
+  // Existentials dropped by pure-literal elimination (value recorded).
+  const auto is_existential = [&](Var v) { return formula.is_existential(v); };
+
+  bool changed = true;
+  while (changed && !result.proven_false) {
+    changed = false;
+    ++stats.rounds;
+
+    // --- universal reduction -------------------------------------------
+    {
+      std::set<Clause> next;
+      for (const Clause& c : clauses) {
+        Clause reduced;
+        for (const Lit l : c) {
+          if (!formula.is_universal(l.var())) {
+            reduced.push_back(l);
+            continue;
+          }
+          // Keep the universal literal only if some existential in the
+          // clause may depend on it.
+          bool needed = false;
+          for (const Lit other : c) {
+            if (!is_existential(other.var())) continue;
+            const auto& deps =
+                formula.existentials()[formula.existential_index(
+                                           other.var())]
+                    .deps;
+            if (std::binary_search(deps.begin(), deps.end(), l.var())) {
+              needed = true;
+              break;
+            }
+          }
+          if (needed) {
+            reduced.push_back(l);
+          } else {
+            ++stats.universal_literals_reduced;
+            changed = true;
+          }
+        }
+        if (reduced.empty()) {
+          // Clause with no admissible literal left: the formula is False.
+          result.proven_false = true;
+          break;
+        }
+        next.insert(reduced);
+      }
+      if (result.proven_false) break;
+      clauses = std::move(next);
+    }
+
+    // --- existential unit propagation -----------------------------------
+    {
+      std::optional<Lit> unit;
+      for (const Clause& c : clauses) {
+        if (c.size() == 1) {
+          if (formula.is_universal(c[0].var())) {
+            // A universal unit clause is falsified by the opposite value.
+            result.proven_false = true;
+          } else {
+            unit = c[0];
+          }
+          break;
+        }
+      }
+      if (result.proven_false) break;
+      if (unit.has_value()) {
+        const Var v = unit->var();
+        const bool value = !unit->negated();
+        const auto it = forced.find(v);
+        if (it != forced.end() && it->second != value) {
+          result.proven_false = true;
+          break;
+        }
+        forced[v] = value;
+        ++stats.units_propagated;
+        changed = true;
+        std::set<Clause> next;
+        for (const Clause& c : clauses) {
+          if (std::binary_search(c.begin(), c.end(), *unit)) continue;
+          Clause filtered;
+          for (const Lit l : c) {
+            if (l != ~*unit) filtered.push_back(l);
+          }
+          if (filtered.empty()) {
+            result.proven_false = true;
+            break;
+          }
+          next.insert(filtered);
+        }
+        if (result.proven_false) break;
+        clauses = std::move(next);
+      }
+    }
+
+    // --- existential pure literals ---------------------------------------
+    {
+      // occurrence polarity per existential: 1 = pos seen, 2 = neg seen.
+      std::map<Var, int> polarity;
+      for (const Clause& c : clauses) {
+        for (const Lit l : c) {
+          if (!is_existential(l.var())) continue;
+          polarity[l.var()] |= l.negated() ? 2 : 1;
+        }
+      }
+      std::optional<Lit> pure;
+      for (const auto& [v, mask] : polarity) {
+        if (mask == 1) {
+          pure = cnf::pos(v);
+          break;
+        }
+        if (mask == 2) {
+          pure = cnf::neg(v);
+          break;
+        }
+      }
+      if (pure.has_value()) {
+        forced[pure->var()] = !pure->negated();
+        ++stats.pure_literals_eliminated;
+        changed = true;
+        std::set<Clause> next;
+        for (const Clause& c : clauses) {
+          if (!std::binary_search(c.begin(), c.end(), *pure)) {
+            next.insert(c);
+          }
+        }
+        clauses = std::move(next);
+      }
+    }
+
+    // --- subsumption ------------------------------------------------------
+    {
+      std::set<Clause> next;
+      for (const Clause& c : clauses) {
+        bool subsumed = false;
+        for (const Clause& d : clauses) {
+          if (d.size() >= c.size() || d == c) continue;
+          if (std::includes(c.begin(), c.end(), d.begin(), d.end())) {
+            subsumed = true;
+            break;
+          }
+        }
+        if (subsumed) {
+          ++stats.clauses_subsumed;
+          changed = true;
+        } else {
+          next.insert(c);
+        }
+      }
+      clauses = std::move(next);
+    }
+  }
+
+  if (result.proven_false) {
+    result.simplified = dqbf::DqbfFormula();
+    return result;
+  }
+
+  // Rebuild the simplified formula: same quantifier prefix minus the
+  // eliminated existentials.
+  dqbf::DqbfFormula out;
+  for (const Var x : formula.universals()) out.add_universal(x);
+  for (const dqbf::Existential& e : formula.existentials()) {
+    const auto it = forced.find(e.var);
+    if (it != forced.end()) {
+      result.eliminated.emplace_back(e.var, it->second);
+    } else {
+      out.add_existential(e.var, e.deps);
+    }
+  }
+  out.matrix().ensure_vars(formula.matrix().num_vars());
+  for (const Clause& c : clauses) out.matrix().add_clause(c);
+  result.simplified = std::move(out);
+  return result;
+}
+
+std::vector<aig::Ref> HqspreLite::reconstruct(
+    const dqbf::DqbfFormula& original, const PreprocessResult& result,
+    const std::vector<aig::Ref>& simplified_functions) {
+  std::map<Var, aig::Ref> function_of;
+  const auto& kept = result.simplified.existentials();
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    function_of[kept[i].var] = simplified_functions[i];
+  }
+  for (const auto& [v, value] : result.eliminated) {
+    function_of[v] = aig::Aig::constant(value);
+  }
+  std::vector<aig::Ref> functions;
+  functions.reserve(original.existentials().size());
+  for (const dqbf::Existential& e : original.existentials()) {
+    functions.push_back(function_of.at(e.var));
+  }
+  return functions;
+}
+
+}  // namespace manthan::preprocess

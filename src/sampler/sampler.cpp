@@ -1,0 +1,67 @@
+#include "sampler/sampler.hpp"
+
+#include "sat/solver.hpp"
+
+namespace manthan::sampler {
+
+Sampler::Sampler(SamplerOptions options) : options_(options) {}
+
+std::vector<Assignment> Sampler::sample(const CnfFormula& formula,
+                                        const std::vector<Var>& bias_vars,
+                                        const util::Deadline* deadline) {
+  std::vector<Assignment> samples;
+
+  const auto draw = [&](sat::Solver& solver, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (deadline != nullptr && deadline->expired()) break;
+      const sat::Result result =
+          deadline != nullptr ? solver.solve({}, *deadline) : solver.solve();
+      if (result != sat::Result::kSat) break;
+      samples.push_back(solver.model());
+    }
+  };
+
+  // Probe round: unbiased random polarities.
+  sat::SolverOptions probe_options;
+  probe_options.random_polarity = true;
+  probe_options.random_branch_freq = options_.random_branch_freq;
+  probe_options.seed = options_.seed;
+  sat::Solver probe_solver(probe_options);
+  if (!probe_solver.add_formula(formula)) return {};
+  const std::size_t probe_count =
+      options_.adaptive ? std::min(options_.probe_samples,
+                                   options_.num_samples)
+                        : options_.num_samples;
+  draw(probe_solver, probe_count);
+  if (samples.empty()) return {};
+  if (!options_.adaptive || samples.size() >= options_.num_samples) {
+    return samples;
+  }
+
+  // Estimate skew of each bias variable across the probe models.
+  std::vector<double> bias(static_cast<std::size_t>(formula.num_vars()), 0.5);
+  for (const Var v : bias_vars) {
+    std::size_t trues = 0;
+    for (const Assignment& a : samples) {
+      if (a.value(v)) ++trues;
+    }
+    const double fraction =
+        static_cast<double>(trues) / static_cast<double>(samples.size());
+    if (fraction >= options_.skew_high) {
+      bias[static_cast<std::size_t>(v)] = options_.strong_bias;
+    } else if (fraction <= options_.skew_low) {
+      bias[static_cast<std::size_t>(v)] = 1.0 - options_.strong_bias;
+    }
+  }
+
+  // Main round with the learned biases.
+  sat::SolverOptions main_options = probe_options;
+  main_options.seed = options_.seed ^ 0x5deece66dULL;
+  main_options.polarity_bias = bias;
+  sat::Solver main_solver(main_options);
+  if (!main_solver.add_formula(formula)) return samples;
+  draw(main_solver, options_.num_samples - samples.size());
+  return samples;
+}
+
+}  // namespace manthan::sampler

@@ -1,0 +1,59 @@
+// Constrained sampling of satisfying assignments.
+//
+// Role in the paper: CMSGen. GetSamples (Algorithm 1, line 1) draws
+// quasi-uniform models of the specification to serve as training data for
+// candidate learning. We run our CDCL solver with randomized branching and
+// randomized decision polarities; each call yields one model, and fresh
+// randomness decorrelates successive models.
+//
+// Adaptive weighting (as in Manthan): a small probe round with unbiased
+// polarities measures, for each output variable, the fraction of models in
+// which it is true; variables with a strong skew get their polarity bias
+// pushed towards the majority value (0.9/0.1), which concentrates the data
+// in the region the learner must fit, dramatically reducing repair load on
+// skewed specifications.
+#pragma once
+
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::sampler {
+
+using cnf::Assignment;
+using cnf::CnfFormula;
+using cnf::Var;
+
+struct SamplerOptions {
+  std::size_t num_samples = 500;
+  /// Probe-round size used to estimate per-variable skew.
+  std::size_t probe_samples = 64;
+  /// Enable the adaptive bias stage (ablation knob: abl2_sampling).
+  bool adaptive = true;
+  /// Bias applied to skewed variables in the main round.
+  double strong_bias = 0.9;
+  /// Skew thresholds: fraction of true above/below which bias kicks in.
+  double skew_high = 0.65;
+  double skew_low = 0.35;
+  /// Fraction of random decisions in the underlying solver.
+  double random_branch_freq = 0.2;
+  std::uint64_t seed = 42;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions options = {});
+
+  /// Draw up to options.num_samples models of `formula`. `bias_vars` are
+  /// the variables subject to adaptive weighting (the Y variables in
+  /// Manthan3). Returns an empty vector iff the formula is UNSAT.
+  std::vector<Assignment> sample(const CnfFormula& formula,
+                                 const std::vector<Var>& bias_vars,
+                                 const util::Deadline* deadline = nullptr);
+
+ private:
+  SamplerOptions options_;
+};
+
+}  // namespace manthan::sampler

@@ -1,0 +1,612 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace manthan::sat {
+
+// ---------------------------------------------------------------------------
+// OrderHeap
+// ---------------------------------------------------------------------------
+
+void Solver::OrderHeap::insert(Var v) {
+  if (contains(v)) return;
+  if (v >= static_cast<Var>(index_.size())) index_.resize(v + 1, -1);
+  index_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  sift_up(heap_.size() - 1);
+}
+
+void Solver::OrderHeap::update(Var v) {
+  if (contains(v)) sift_up(static_cast<std::size_t>(index_[v]));
+}
+
+Var Solver::OrderHeap::remove_max() {
+  const Var top = heap_[0];
+  heap_[0] = heap_.back();
+  index_[heap_[0]] = 0;
+  heap_.pop_back();
+  index_[top] = -1;
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void Solver::OrderHeap::sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[parent])] >=
+        activity_[static_cast<std::size_t>(v)]) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    index_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  index_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::OrderHeap::sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[static_cast<std::size_t>(heap_[child + 1])] >
+            activity_[static_cast<std::size_t>(heap_[child])]) {
+      ++child;
+    }
+    if (activity_[static_cast<std::size_t>(heap_[child])] <=
+        activity_[static_cast<std::size_t>(v)]) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    index_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  index_[v] = static_cast<std::int32_t>(i);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / variables / clauses
+// ---------------------------------------------------------------------------
+
+Solver::Solver(SolverOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  assigns_.push_back(LBool::kUndef);
+  var_data_.push_back({});
+  saved_phase_.push_back(options_.default_polarity);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.resize(2 * assigns_.size());
+  order_.grow(v + 1);
+  order_.insert(v);
+  return v;
+}
+
+void Solver::ensure_vars(Var n) {
+  while (num_vars() < n) new_var();
+}
+
+bool Solver::add_clause(Clause clause) {
+  if (!ok_) return false;
+  assert(decision_level() == 0);
+  for (const Lit l : clause) ensure_vars(l.var() + 1);
+  // Normalize: sort, drop duplicate/false literals, detect tautology.
+  std::sort(clause.begin(), clause.end());
+  std::vector<Lit> lits;
+  Lit prev = cnf::kUndefLit;
+  for (const Lit l : clause) {
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
+    if (value(l) == LBool::kFalse || l == prev) continue;     // falsified/dup
+    lits.push_back(l);
+    prev = l;
+  }
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (lits.size() == 1) {
+    enqueue(lits[0], kNoReason);
+    ok_ = (propagate() == kNoReason);
+    return ok_;
+  }
+  attach_new_clause(std::move(lits), /*learnt=*/false);
+  return true;
+}
+
+bool Solver::add_formula(const CnfFormula& formula) {
+  ensure_vars(formula.num_vars());
+  for (const Clause& c : formula.clauses()) {
+    if (!add_clause(c)) return false;
+  }
+  return ok_;
+}
+
+Solver::ClauseRef Solver::attach_new_clause(std::vector<Lit> lits,
+                                            bool learnt) {
+  const ClauseRef cref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back({std::move(lits), 0.0, learnt, false});
+  (learnt ? learnt_clauses_ : problem_clauses_).push_back(cref);
+  attach_watches(cref);
+  return cref;
+}
+
+void Solver::attach_watches(ClauseRef cref) {
+  const auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
+  watches_[static_cast<std::size_t>((~lits[0]).code())].push_back(
+      {cref, lits[1]});
+  watches_[static_cast<std::size_t>((~lits[1]).code())].push_back(
+      {cref, lits[0]});
+}
+
+void Solver::detach_watches(ClauseRef cref) {
+  const auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
+  for (int i = 0; i < 2; ++i) {
+    auto& list = watches_[static_cast<std::size_t>((~lits[i]).code())];
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      if (list[j].cref == cref) {
+        list[j] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Propagation and trail
+// ---------------------------------------------------------------------------
+
+void Solver::enqueue(Lit p, ClauseRef from) {
+  assert(value(p) == LBool::kUndef);
+  const auto v = static_cast<std::size_t>(p.var());
+  assigns_[v] = cnf::lbool_from(!p.negated());
+  var_data_[v] = {from, decision_level()};
+  trail_.push_back(p);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const Watcher w = watch_list[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      auto& clause = clauses_[static_cast<std::size_t>(w.cref)];
+      auto& lits = clause.lits;
+      // Ensure the false literal (~p) sits at position 1.
+      const Lit not_p = ~p;
+      if (lits[0] == not_p) std::swap(lits[0], lits[1]);
+      if (value(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = {w.cref, lits[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>((~lits[1]).code())].push_back(
+              {w.cref, lits[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      watch_list[keep++] = {w.cref, lits[0]};
+      if (value(lits[0]) == LBool::kFalse) {
+        // Conflict: keep the remaining watchers and bail out.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.cref;
+      }
+      enqueue(lits[0], w.cref);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::cancel_until(std::int32_t target_level) {
+  if (decision_level() <= target_level) return;
+  const auto bound =
+      static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(target_level)]);
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    saved_phase_[static_cast<std::size_t>(v)] = !trail_[i].negated();
+    assigns_[static_cast<std::size_t>(v)] = LBool::kUndef;
+    if (!order_.contains(v)) order_.insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Conflict analysis
+// ---------------------------------------------------------------------------
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+                     std::int32_t& out_btlevel) {
+  out_learnt.clear();
+  out_learnt.push_back(cnf::kUndefLit);  // slot for the asserting literal
+  std::int32_t counter = 0;
+  Lit p = cnf::kUndefLit;
+  std::size_t index = trail_.size();
+
+  ClauseRef reason_ref = conflict;
+  do {
+    auto& clause = clauses_[static_cast<std::size_t>(reason_ref)];
+    if (clause.learnt) clause_bump_activity(clause);
+    const std::size_t start = (p == cnf::kUndefLit) ? 0 : 1;
+    for (std::size_t i = start; i < clause.lits.size(); ++i) {
+      const Lit q = clause.lits[i];
+      const auto v = static_cast<std::size_t>(q.var());
+      if (seen_[v] || level(q.var()) == 0) continue;
+      seen_[v] = 1;
+      var_bump_activity(q.var());
+      if (level(q.var()) >= decision_level()) {
+        ++counter;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!seen_[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+    p = trail_[--index];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    reason_ref = reason(p.var());
+    --counter;
+  } while (counter > 0);
+  out_learnt[0] = ~p;
+
+  // Self-subsumption minimization: drop literals implied by the rest.
+  const std::vector<Lit> before_minimization = out_learnt;
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    abstract_levels |= 1u << (level(out_learnt[i].var()) & 31);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    if (reason(out_learnt[i].var()) == kNoReason ||
+        !literal_redundant(out_learnt[i], abstract_levels)) {
+      out_learnt[keep++] = out_learnt[i];
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  out_learnt.resize(keep);
+  stats_.learnt_literals += out_learnt.size();
+
+  // Find the backtrack level = highest level among the non-asserting lits.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level(out_learnt[i].var()) > level(out_learnt[max_i].var())) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level(out_learnt[1].var());
+  }
+
+  for (const Lit l : before_minimization) {
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+  }
+  // literal_redundant leaves extra seen_ marks for redundancy witnesses.
+  for (const Lit l : analyze_stack_) {
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+  }
+  analyze_stack_.clear();
+}
+
+bool Solver::literal_redundant(Lit p, std::uint32_t abstract_levels) {
+  // Depth-first check that every path from p's reason leads to seen
+  // literals (or level-0 facts). Conservative on levels via the bitmask.
+  std::vector<Lit> stack{p};
+  const std::size_t cleanup_mark = analyze_stack_.size();
+  while (!stack.empty()) {
+    const Lit q = stack.back();
+    stack.pop_back();
+    const ClauseRef r = reason(q.var());
+    assert(r != kNoReason);
+    const auto& lits = clauses_[static_cast<std::size_t>(r)].lits;
+    for (std::size_t i = 1; i < lits.size(); ++i) {
+      const Lit l = lits[i];
+      const auto v = static_cast<std::size_t>(l.var());
+      if (seen_[v] || level(l.var()) == 0) continue;
+      if (reason(l.var()) == kNoReason ||
+          ((1u << (level(l.var()) & 31)) & abstract_levels) == 0) {
+        // Not redundant: undo the marks added during this check.
+        for (std::size_t j = cleanup_mark; j < analyze_stack_.size(); ++j) {
+          seen_[static_cast<std::size_t>(analyze_stack_[j].var())] = 0;
+        }
+        analyze_stack_.resize(cleanup_mark);
+        return false;
+      }
+      seen_[v] = 1;
+      analyze_stack_.push_back(l);
+      stack.push_back(l);
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit failed, std::vector<Lit>& out_core) {
+  // `failed` is an assumption found false under the earlier assumptions.
+  // Walk the implication graph backwards from ~failed; every decision
+  // reached is an earlier assumption, and together with `failed` they form
+  // an unsatisfiable subset (the core).
+  out_core.clear();
+  out_core.push_back(failed);
+  if (decision_level() == 0) return;
+  seen_[static_cast<std::size_t>(failed.var())] = 1;
+  const auto level0_end =
+      static_cast<std::size_t>(trail_lim_.empty() ? 0 : trail_lim_[0]);
+  for (std::size_t i = trail_.size(); i-- > level0_end;) {
+    const Var v = trail_[i].var();
+    if (!seen_[static_cast<std::size_t>(v)]) continue;
+    seen_[static_cast<std::size_t>(v)] = 0;
+    const ClauseRef r = reason(v);
+    if (r == kNoReason) {
+      // A decision above level 0 is an assumption (assumptions are the
+      // only decisions made before analyze_final can run).
+      out_core.push_back(trail_[i]);
+    } else {
+      const auto& lits = clauses_[static_cast<std::size_t>(r)].lits;
+      for (std::size_t k = 1; k < lits.size(); ++k) {
+        if (level(lits[k].var()) > 0) {
+          seen_[static_cast<std::size_t>(lits[k].var())] = 1;
+        }
+      }
+    }
+  }
+  seen_[static_cast<std::size_t>(failed.var())] = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Activities
+// ---------------------------------------------------------------------------
+
+void Solver::var_bump_activity(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.update(v);
+}
+
+void Solver::var_decay_activity() { var_inc_ /= options_.var_decay; }
+
+void Solver::clause_bump_activity(ClauseData& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (const ClauseRef cref : learnt_clauses_) {
+      clauses_[static_cast<std::size_t>(cref)].activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::clause_decay_activity() {
+  clause_inc_ /= options_.clause_activity_decay;
+}
+
+// ---------------------------------------------------------------------------
+// Decisions and clause DB reduction
+// ---------------------------------------------------------------------------
+
+Lit Solver::pick_branch_lit() {
+  Var next = cnf::kNoVar;
+  if (options_.random_branch_freq > 0.0 &&
+      rng_.flip(options_.random_branch_freq)) {
+    // Random decision variable (sampler diversification).
+    const Var v = static_cast<Var>(rng_.next_below(
+        static_cast<std::uint64_t>(num_vars())));
+    if (value(v) == LBool::kUndef) next = v;
+  }
+  while (next == cnf::kNoVar || value(next) != LBool::kUndef) {
+    if (order_.empty()) return cnf::kUndefLit;
+    next = order_.remove_max();
+  }
+  bool polarity;
+  if (options_.random_polarity) {
+    const auto v = static_cast<std::size_t>(next);
+    const double p_true = v < options_.polarity_bias.size()
+                              ? options_.polarity_bias[v]
+                              : 0.5;
+    polarity = rng_.flip(p_true);
+  } else {
+    polarity = saved_phase_[static_cast<std::size_t>(next)];
+  }
+  return Lit(next, !polarity);
+}
+
+bool Solver::clause_locked(ClauseRef cref) const {
+  const auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
+  return value(lits[0]) == LBool::kTrue && reason(lits[0].var()) == cref;
+}
+
+void Solver::reduce_db() {
+  ++stats_.db_reductions;
+  std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
+            [&](ClauseRef a, ClauseRef b) {
+              return clauses_[static_cast<std::size_t>(a)].activity <
+                     clauses_[static_cast<std::size_t>(b)].activity;
+            });
+  const std::size_t target = learnt_clauses_.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(learnt_clauses_.size());
+  for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
+    const ClauseRef cref = learnt_clauses_[i];
+    auto& clause = clauses_[static_cast<std::size_t>(cref)];
+    const bool removable = clause.lits.size() > 2 && !clause_locked(cref) &&
+                           i < target;
+    if (removable) {
+      detach_watches(cref);
+      clause.removed = true;
+      clause.lits.clear();
+      clause.lits.shrink_to_fit();
+    } else {
+      kept.push_back(cref);
+    }
+  }
+  learnt_clauses_ = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Main search
+// ---------------------------------------------------------------------------
+
+std::int64_t Solver::luby(std::int64_t i) {
+  // 1-indexed Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  // If i == 2^k - 1, the value is 2^(k-1); otherwise recurse on the
+  // position within the current subsequence.
+  while (true) {
+    std::int64_t k = 1;
+    while ((1LL << k) - 1 < i) ++k;
+    if (i == (1LL << k) - 1) return 1LL << (k - 1);
+    i -= (1LL << (k - 1)) - 1;
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  return search_loop(assumptions, nullptr);
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     const util::Deadline& deadline) {
+  return search_loop(assumptions, &deadline);
+}
+
+Result Solver::search_loop(const std::vector<Lit>& assumptions,
+                           const util::Deadline* deadline) {
+  core_.clear();
+  if (!ok_) return Result::kUnsat;
+  for (const Lit a : assumptions) ensure_vars(a.var() + 1);
+  cancel_until(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return Result::kUnsat;
+  }
+
+  if (max_learnts_ <= 0.0) {
+    max_learnts_ = std::max<double>(
+        1000.0, static_cast<double>(problem_clauses_.size()) / 3.0);
+  }
+
+  std::int64_t restart_round = 0;
+  std::vector<Lit> learnt;
+  while (true) {
+    const std::int64_t budget =
+        luby(++restart_round) * options_.restart_base;
+    std::int64_t conflicts_this_round = 0;
+    while (true) {
+      const ClauseRef conflict = propagate();
+      if (conflict != kNoReason) {
+        ++stats_.conflicts;
+        ++conflicts_this_round;
+        if (decision_level() == 0) {
+          ok_ = false;
+          return Result::kUnsat;  // conflict independent of assumptions
+        }
+        std::int32_t bt_level = 0;
+        analyze(conflict, learnt, bt_level);
+        // Never backtrack past the assumption prefix unexpectedly: the
+        // learnt clause's asserting literal stays valid because bt_level
+        // is computed from the clause itself.
+        cancel_until(bt_level);
+        if (learnt.size() == 1) {
+          if (decision_level() > 0) cancel_until(0);
+          enqueue(learnt[0], kNoReason);
+        } else {
+          const ClauseRef cref = attach_new_clause(learnt, /*learnt=*/true);
+          clause_bump_activity(clauses_[static_cast<std::size_t>(cref)]);
+          enqueue(learnt[0], cref);
+        }
+        var_decay_activity();
+        clause_decay_activity();
+        if ((stats_.conflicts & 1023) == 0 && deadline != nullptr &&
+            deadline->expired()) {
+          cancel_until(0);
+          return Result::kUnknown;
+        }
+        if (conflicts_this_round >= budget) {
+          ++stats_.restarts;
+          cancel_until(0);
+          break;  // restart
+        }
+        continue;
+      }
+      if (static_cast<double>(learnt_clauses_.size()) >= max_learnts_) {
+        max_learnts_ *= 1.3;
+        reduce_db();
+      }
+      // Extend with assumptions, then decide.
+      if (decision_level() < static_cast<std::int32_t>(assumptions.size())) {
+        const Lit a =
+            assumptions[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::kTrue) {
+          new_decision_level();  // dummy level to keep indices aligned
+          continue;
+        }
+        if (value(a) == LBool::kFalse) {
+          analyze_final(a, core_);
+          cancel_until(0);
+          return Result::kUnsat;
+        }
+        ++stats_.decisions;
+        new_decision_level();
+        enqueue(a, kNoReason);
+        continue;
+      }
+      const Lit next = pick_branch_lit();
+      if (next == cnf::kUndefLit) {
+        extract_model();
+        cancel_until(0);
+        return Result::kSat;
+      }
+      ++stats_.decisions;
+      new_decision_level();
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+void Solver::extract_model() {
+  model_.resize(static_cast<std::size_t>(num_vars()));
+  for (Var v = 0; v < num_vars(); ++v) {
+    // Unassigned vars (disconnected) default to their saved phase.
+    const LBool val = value(v);
+    model_.set(v, val == LBool::kUndef
+                      ? saved_phase_[static_cast<std::size_t>(v)]
+                      : val == LBool::kTrue);
+  }
+}
+
+LBool Solver::fixed_value(Lit l) const {
+  const auto v = static_cast<std::size_t>(l.var());
+  if (var_data_[v].level != 0) return LBool::kUndef;
+  return value(l);
+}
+
+}  // namespace manthan::sat

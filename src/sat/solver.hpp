@@ -1,0 +1,223 @@
+// Conflict-driven clause-learning (CDCL) SAT solver.
+//
+// This is the oracle behind every reasoning step of the library:
+//   * CheckSat queries of the Manthan3 verification loop,
+//   * UNSAT-core extraction over assumptions (FindCore; PicoSAT's role in
+//     the paper), via final-conflict analysis,
+//   * the Fu-Malik MaxSAT solver (FindCandi; Open-WBO's role),
+//   * the constrained sampler (CMSGen's role), through randomized
+//     branching and polarities.
+//
+// Architecture: classic MiniSat-style two-watched-literal propagation,
+// first-UIP clause learning with self-subsumption minimization, VSIDS
+// decision heuristic with phase saving, Luby restarts, and activity-based
+// learnt-clause database reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::sat {
+
+using cnf::Assignment;
+using cnf::Clause;
+using cnf::CnfFormula;
+using cnf::LBool;
+using cnf::Lit;
+using cnf::Var;
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+struct SolverOptions {
+  double var_decay = 0.95;
+  double clause_activity_decay = 0.999;
+  /// Probability of choosing a random (instead of highest-activity)
+  /// decision variable. Raised by the sampler to diversify models.
+  double random_branch_freq = 0.0;
+  /// If true, decision polarities are drawn at random (per decision)
+  /// instead of from saved phases; used by the sampler.
+  bool random_polarity = false;
+  /// Per-variable polarity bias used when random_polarity is set:
+  /// probability of deciding the variable true (see Sampler).
+  /// Empty means unbiased 0.5.
+  std::vector<double> polarity_bias;
+  /// Polarity assigned to fresh variables before any phase is saved.
+  bool default_polarity = false;
+  std::uint64_t seed = 0x123456789abcdefULL;
+  /// Restart interval base (conflicts); scaled by the Luby sequence.
+  int restart_base = 100;
+};
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t db_reductions = 0;
+};
+
+/// Incremental CDCL solver with assumptions and UNSAT-core extraction.
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  // The decision-order heap holds a reference into this object; copying or
+  // moving would dangle it.
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Allocate a fresh variable.
+  Var new_var();
+  /// Grow to at least `n` variables.
+  void ensure_vars(Var n);
+  Var num_vars() const { return static_cast<Var>(assigns_.size()); }
+
+  /// Add a clause. Returns false if the formula became trivially
+  /// unsatisfiable (conflicting units at the root level).
+  bool add_clause(Clause clause);
+  /// Add every clause of a CNF formula.
+  bool add_formula(const CnfFormula& formula);
+
+  /// Solve under the given assumptions. kUnknown only when a budget or
+  /// deadline interrupts the search.
+  Result solve(const std::vector<Lit>& assumptions = {});
+  /// Solve with a wall-clock deadline (checked periodically).
+  Result solve(const std::vector<Lit>& assumptions,
+               const util::Deadline& deadline);
+
+  /// Complete satisfying assignment; valid after solve() returned kSat.
+  const Assignment& model() const { return model_; }
+
+  /// Subset of the assumptions sufficient for unsatisfiability; valid
+  /// after solve() returned kUnsat. Empty core means the formula itself
+  /// (without assumptions) is UNSAT.
+  const std::vector<Lit>& core() const { return core_; }
+
+  /// Truth value of `l` in the current root-level assignment (kUndef if
+  /// unassigned at level 0). Useful after unit propagation.
+  LBool fixed_value(Lit l) const;
+
+  const SolverStats& stats() const { return stats_; }
+  SolverOptions& options() { return options_; }
+
+ private:
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  struct ClauseData {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool removed = false;
+  };
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  struct VarData {
+    ClauseRef reason = kNoReason;
+    std::int32_t level = 0;
+  };
+
+  // --- indexed max-heap over variable activity -------------------------
+  class OrderHeap {
+   public:
+    explicit OrderHeap(const std::vector<double>& activity)
+        : activity_(activity) {}
+    bool empty() const { return heap_.empty(); }
+    bool contains(Var v) const {
+      return v < static_cast<Var>(index_.size()) && index_[v] >= 0;
+    }
+    void insert(Var v);
+    void update(Var v);  // activity of v increased
+    Var remove_max();
+    void grow(Var n) { index_.resize(n, -1); }
+
+   private:
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+    const std::vector<double>& activity_;
+    std::vector<Var> heap_;
+    std::vector<std::int32_t> index_;
+  };
+
+  // --- core operations ---------------------------------------------------
+  LBool value(Lit l) const {
+    return assigns_[static_cast<std::size_t>(l.var())] ^ l.negated();
+  }
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  std::int32_t level(Var v) const {
+    return var_data_[static_cast<std::size_t>(v)].level;
+  }
+  ClauseRef reason(Var v) const {
+    return var_data_[static_cast<std::size_t>(v)].reason;
+  }
+  std::int32_t decision_level() const {
+    return static_cast<std::int32_t>(trail_lim_.size());
+  }
+
+  void new_decision_level() {
+    trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+  }
+  void enqueue(Lit p, ClauseRef from);
+  ClauseRef propagate();
+  void cancel_until(std::int32_t target_level);
+  void analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+               std::int32_t& out_btlevel);
+  bool literal_redundant(Lit p, std::uint32_t abstract_levels);
+  void analyze_final(Lit p, std::vector<Lit>& out_core);
+  Lit pick_branch_lit();
+  ClauseRef attach_new_clause(std::vector<Lit> lits, bool learnt);
+  void attach_watches(ClauseRef cref);
+  void detach_watches(ClauseRef cref);
+  void reduce_db();
+  bool clause_locked(ClauseRef cref) const;
+  void var_bump_activity(Var v);
+  void var_decay_activity();
+  void clause_bump_activity(ClauseData& c);
+  void clause_decay_activity();
+  Result search_loop(const std::vector<Lit>& assumptions,
+                     const util::Deadline* deadline);
+  void extract_model();
+  static std::int64_t luby(std::int64_t i);
+
+  SolverOptions options_;
+  util::Rng rng_;
+
+  std::vector<ClauseData> clauses_;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learnt_clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+
+  std::vector<LBool> assigns_;
+  std::vector<VarData> var_data_;
+  std::vector<bool> saved_phase_;
+  std::vector<double> activity_;
+  OrderHeap order_{activity_};
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+
+  bool ok_ = true;
+  double max_learnts_ = 0.0;
+
+  Assignment model_;
+  std::vector<Lit> core_;
+  SolverStats stats_;
+};
+
+}  // namespace manthan::sat

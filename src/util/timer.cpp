@@ -1,0 +1,28 @@
+#include "util/timer.hpp"
+
+#include <limits>
+
+namespace manthan::util {
+
+Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+Deadline::Deadline(double limit_seconds) : limit_(limit_seconds) {}
+
+bool Deadline::expired() const {
+  return limit_ > 0.0 && timer_.seconds() >= limit_;
+}
+
+double Deadline::remaining_seconds() const {
+  if (limit_ <= 0.0) return std::numeric_limits<double>::infinity();
+  const double rem = limit_ - timer_.seconds();
+  return rem > 0.0 ? rem : 0.0;
+}
+
+}  // namespace manthan::util

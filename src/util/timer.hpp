@@ -1,0 +1,39 @@
+// Wall-clock timing with an optional deadline, used by every engine to
+// honour per-instance time budgets in the portfolio harness.
+#pragma once
+
+#include <chrono>
+
+namespace manthan::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer();
+
+  /// Restart the stopwatch.
+  void reset();
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A time budget: constructed with a limit in seconds; expired() becomes
+/// true once the limit is exceeded. A non-positive limit means "unlimited".
+class Deadline {
+ public:
+  explicit Deadline(double limit_seconds = 0.0);
+
+  bool expired() const;
+  double remaining_seconds() const;
+  double limit_seconds() const { return limit_; }
+
+ private:
+  Timer timer_;
+  double limit_;
+};
+
+}  // namespace manthan::util

@@ -1,0 +1,69 @@
+#include "workloads/gen_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::workloads {
+
+using cnf::Var;
+
+dqbf::DqbfFormula gen_controller(const ControllerParams& params) {
+  util::Rng rng(params.seed);
+  dqbf::DqbfFormula formula;
+  const std::size_t k = params.state_bits;
+  const std::size_t l = params.disturbance_bits;
+  const std::size_t c = params.control_bits;
+
+  // Universals: current state s_0..s_{k-1} and disturbance d_0..d_{l-1}.
+  std::vector<Var> state_vars(k);
+  std::vector<Var> dist_vars(l);
+  for (std::size_t i = 0; i < k; ++i) {
+    state_vars[i] = static_cast<Var>(i);
+    formula.add_universal(state_vars[i]);
+  }
+  for (std::size_t i = 0; i < l; ++i) {
+    dist_vars[i] = static_cast<Var>(k + i);
+    formula.add_universal(dist_vars[i]);
+  }
+  std::vector<Var> plant_inputs = state_vars;
+  plant_inputs.insert(plant_inputs.end(), dist_vars.begin(),
+                      dist_vars.end());
+
+  // Plant dynamics: controlled next-state bit j is u_j ⊕ g_j(s, d).
+  aig::Aig manager;
+  std::vector<aig::Ref> g(c);
+  std::vector<std::vector<Var>> observation(c);
+  std::vector<Var> u_vars(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    g[j] = detail::random_function(manager, plant_inputs,
+                                   params.update_gates, rng);
+    // Observation (Henkin set): what g_j actually reads — plus, in the
+    // blinded variant, with one needed input removed, which typically
+    // makes the instance unrealizable.
+    std::vector<std::int32_t> support = manager.support(g[j]);
+    observation[j].assign(support.begin(), support.end());
+    if (!params.fully_observable && !observation[j].empty()) {
+      observation[j].erase(observation[j].begin() +
+                           static_cast<std::ptrdiff_t>(
+                               rng.next_below(observation[j].size())));
+    }
+    u_vars[j] = static_cast<Var>(k + l + j);
+    formula.add_existential(u_vars[j], observation[j]);
+  }
+
+  // Safety: all controlled next-state bits must be driven to 0 whenever
+  // the current state is safe; unsafe states are don't-care (classic
+  // inductive-invariant shape:  safe(s) → safe(s')).
+  const aig::Ref safe_now =
+      aig::ref_not(detail::random_function(manager, state_vars, 3, rng));
+  std::vector<aig::Ref> next_ok(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    const aig::Ref next_bit =
+        manager.xor_gate(manager.input(u_vars[j]), g[j]);
+    next_ok[j] = aig::ref_not(next_bit);
+  }
+  const aig::Ref spec =
+      manager.implies_gate(safe_now, manager.and_all(next_ok));
+  detail::assert_aig(formula, manager, spec);
+  return formula;
+}
+
+}  // namespace manthan::workloads

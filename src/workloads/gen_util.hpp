@@ -1,0 +1,70 @@
+// Internal helpers shared by the workload generators.
+#pragma once
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/aig_cnf.hpp"
+#include "dqbf/dqbf.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::workloads::detail {
+
+/// A random Boolean function over `input_vars` built from `num_gates`
+/// randomly wired gates with random polarities. With `allow_xor` false
+/// the function is AND/OR-only (monotone modulo input polarities), which
+/// decision trees learn far more readily than XOR-heavy functions —
+/// used by the "learnable" benchmark families.
+inline aig::Ref random_function(aig::Aig& manager,
+                                const std::vector<cnf::Var>& input_vars,
+                                std::size_t num_gates, util::Rng& rng,
+                                bool allow_xor = true) {
+  std::vector<aig::Ref> pool;
+  pool.reserve(input_vars.size() + num_gates);
+  for (const cnf::Var v : input_vars) pool.push_back(manager.input(v));
+  if (pool.empty()) return aig::Aig::constant(rng.flip());
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    aig::Ref a = pool[rng.next_below(pool.size())];
+    aig::Ref b = pool[rng.next_below(pool.size())];
+    if (rng.flip()) a = aig::ref_not(a);
+    if (rng.flip()) b = aig::ref_not(b);
+    switch (rng.next_below(allow_xor ? 3 : 2)) {
+      case 0: pool.push_back(manager.and_gate(a, b)); break;
+      case 1: pool.push_back(manager.or_gate(a, b)); break;
+      default: pool.push_back(manager.xor_gate(a, b)); break;
+    }
+  }
+  return pool.back();
+}
+
+/// Tseitin-encode `root` into the matrix of `formula` and assert it true.
+/// Auxiliary variables introduced by the encoding are declared as
+/// existentials depending on all universals (they are deterministic gate
+/// functions of the circuit inputs, so this is always admissible).
+inline void assert_aig(dqbf::DqbfFormula& formula, const aig::Aig& manager,
+                       aig::Ref root) {
+  const cnf::Var before = formula.matrix().num_vars();
+  const cnf::Lit lit = aig::encode_cone(manager, root, formula.matrix());
+  const cnf::Var after = formula.matrix().num_vars();
+  for (cnf::Var v = before; v < after; ++v) {
+    formula.add_existential(v, formula.universals());
+  }
+  formula.matrix().add_unit(lit);
+}
+
+/// Pick `count` distinct values from [0, bound) (count <= bound).
+inline std::vector<cnf::Var> random_subset(std::size_t bound,
+                                           std::size_t count,
+                                           util::Rng& rng) {
+  std::vector<cnf::Var> all(bound);
+  for (std::size_t i = 0; i < bound; ++i) all[i] = static_cast<cnf::Var>(i);
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < count && i + 1 < bound; ++i) {
+    const std::size_t j = i + rng.next_below(bound - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(std::min(count, bound));
+  return all;
+}
+
+}  // namespace manthan::workloads::detail

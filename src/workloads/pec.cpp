@@ -1,0 +1,64 @@
+#include <unordered_map>
+
+#include "workloads/gen_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::workloads {
+
+using cnf::Var;
+
+dqbf::DqbfFormula gen_pec(const PecParams& params) {
+  util::Rng rng(params.seed);
+  dqbf::DqbfFormula formula;
+  const std::size_t nx = params.num_inputs;
+  for (std::size_t i = 0; i < nx; ++i) {
+    formula.add_universal(static_cast<Var>(i));
+  }
+
+  // Blackbox outputs w_j: existentials whose Henkin set is the blackbox's
+  // (observable) input cone S_j ⊆ X.
+  const std::size_t b = params.num_blackboxes;
+  std::vector<Var> w_vars(b);
+  std::vector<std::vector<Var>> bb_inputs(b);
+  for (std::size_t j = 0; j < b; ++j) {
+    w_vars[j] = static_cast<Var>(nx + j);
+    bb_inputs[j] = detail::random_subset(
+        nx, std::min(params.blackbox_inputs, nx), rng);
+    formula.add_existential(w_vars[j], bb_inputs[j]);
+  }
+
+  // Implementation outputs: random circuits over X and the blackbox
+  // wires; make sure each blackbox wire can actually matter by seeding
+  // every output's input pool with all of them.
+  aig::Aig manager;
+  std::vector<Var> impl_inputs;
+  for (std::size_t i = 0; i < nx; ++i) {
+    impl_inputs.push_back(static_cast<Var>(i));
+  }
+  for (const Var w : w_vars) impl_inputs.push_back(w);
+  std::vector<aig::Ref> impl_outputs(params.num_outputs);
+  for (std::size_t k = 0; k < params.num_outputs; ++k) {
+    impl_outputs[k] = detail::random_function(manager, impl_inputs,
+                                              params.circuit_gates, rng);
+  }
+
+  // Golden circuit: the implementation with *planted* blackbox functions
+  // substituted — so a rectifying assignment of the blackboxes exists by
+  // construction (the instance is True).
+  std::unordered_map<std::int32_t, aig::Ref> plant;
+  for (std::size_t j = 0; j < b; ++j) {
+    plant[w_vars[j]] =
+        detail::random_function(manager, bb_inputs[j], 4, rng);
+  }
+  std::vector<aig::Ref> equivalences(params.num_outputs);
+  for (std::size_t k = 0; k < params.num_outputs; ++k) {
+    const aig::Ref golden = manager.compose(impl_outputs[k], plant);
+    equivalences[k] = manager.equiv_gate(impl_outputs[k], golden);
+  }
+
+  // Matrix: all outputs equivalent (miter is constant false).
+  detail::assert_aig(formula, manager, manager.and_all(equivalences));
+  return formula;
+}
+
+}  // namespace manthan::workloads

@@ -1,0 +1,47 @@
+#include "workloads/gen_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::workloads {
+
+using cnf::Var;
+
+dqbf::DqbfFormula gen_succinct_sat(const SuccinctSatParams& params) {
+  util::Rng rng(params.seed);
+  dqbf::DqbfFormula formula;
+  const std::size_t n = params.num_vars;
+
+  // Every SAT variable becomes an existential with an *empty* Henkin set:
+  // its function is a constant, and the vector is a satisfying
+  // assignment.
+  for (std::size_t i = 0; i < n; ++i) {
+    formula.add_existential(static_cast<Var>(i), {});
+  }
+
+  // Planted satisfiable random 3-SAT.
+  std::vector<bool> plant(n);
+  for (std::size_t i = 0; i < n; ++i) plant[i] = rng.flip();
+  const auto num_clauses =
+      static_cast<std::size_t>(params.clause_ratio * static_cast<double>(n));
+  std::size_t emitted = 0;
+  while (emitted < num_clauses) {
+    cnf::Clause clause;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const Var v = static_cast<Var>(rng.next_below(n));
+      clause.push_back(cnf::Lit(v, rng.flip()));
+    }
+    // Keep only clauses the plant satisfies.
+    bool satisfied = false;
+    for (const cnf::Lit lit : clause) {
+      if (plant[static_cast<std::size_t>(lit.var())] != lit.negated()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) continue;
+    formula.matrix().add_clause(std::move(clause));
+    ++emitted;
+  }
+  return formula;
+}
+
+}  // namespace manthan::workloads

@@ -1,0 +1,171 @@
+#include <sstream>
+
+#include "workloads/workloads.hpp"
+
+namespace manthan::workloads {
+
+namespace {
+
+std::string make_name(const std::string& family, std::size_t a,
+                      std::size_t b, std::uint64_t seed) {
+  std::ostringstream os;
+  os << family << '_' << a << 'x' << b << "_s" << seed;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Instance> standard_suite(const SuiteParams& params) {
+  std::vector<Instance> suite;
+  const std::size_t scale = params.scale == 0 ? 1 : params.scale;
+  std::uint64_t seed_base = params.seed;
+
+  // Planted random (True): the bread-and-butter learnable family.
+  {
+    std::vector<std::size_t> sizes{6, 8, 10};
+    if (scale >= 2) {
+      sizes.push_back(12);
+      sizes.push_back(14);
+    }
+    for (const std::size_t nx : sizes) {
+      for (const std::size_t ny : {std::size_t{3}, std::size_t{5}}) {
+        for (std::uint64_t s = 0; s < scale + 1; ++s) {
+          PlantedParams p;
+          p.num_universals = nx;
+          p.num_existentials = ny;
+          p.dep_size = nx / 2;
+          p.num_clauses = 8 * ny;
+          p.seed = seed_base++ * 7919 + s;
+          suite.push_back(
+              {make_name("planted", nx, ny, s), "planted", gen_planted(p)});
+        }
+      }
+    }
+  }
+
+  // Planted-hard (True): large dependency sets with tree-learnable
+  // functions. Elimination must expand nearly all universals (beyond the
+  // cap) and arbiter tables need too many entries, while decision-tree
+  // learning plus repair stays cheap — the Manthan3 niche behind the
+  // paper's unique-solve count.
+  {
+    std::vector<std::size_t> sizes{16, 18};
+    if (scale >= 2) {
+      sizes.push_back(20);
+      sizes.push_back(22);
+    }
+    for (const std::size_t nx : sizes) {
+      for (const std::size_t ny : {std::size_t{4}, std::size_t{6}}) {
+        for (std::uint64_t s = 0; s < scale + 1; ++s) {
+          PlantedParams p;
+          p.num_universals = nx;
+          p.num_existentials = ny;
+          p.dep_size = 5;
+          p.function_gates = 5;
+          p.num_clauses = 30 * ny;
+          p.seed = seed_base++ * 7919 + s;
+          p.xor_functions = false;
+          p.nested_deps = true;
+          p.dep_size_max = (3 * nx) / 4;
+          suite.push_back({make_name("plantedhard", nx, ny, s),
+                           "planted_hard", gen_planted(p)});
+        }
+      }
+    }
+  }
+
+  // Partial equivalence checking (True).
+  {
+    std::vector<std::size_t> sizes{5, 7};
+    if (scale >= 2) sizes.push_back(9);
+    for (const std::size_t nx : sizes) {
+      for (const std::size_t b : {std::size_t{2}, std::size_t{3}}) {
+        for (std::uint64_t s = 0; s < scale + 1; ++s) {
+          PecParams p;
+          p.num_inputs = nx;
+          p.num_blackboxes = b;
+          p.blackbox_inputs = 2 + (nx >= 7 ? 1 : 0);
+          p.circuit_gates = 2 * nx;
+          p.seed = seed_base++ * 7919 + s;
+          suite.push_back({make_name("pec", nx, b, s), "pec", gen_pec(p)});
+        }
+      }
+    }
+  }
+
+  // Controller synthesis: mostly realizable, some blinded (False-leaning).
+  {
+    std::vector<std::size_t> sizes{3, 4};
+    if (scale >= 2) sizes.push_back(5);
+    for (const std::size_t k : sizes) {
+      for (const std::size_t c : {std::size_t{2}, std::size_t{3}}) {
+        for (std::uint64_t s = 0; s < scale + 1; ++s) {
+          ControllerParams p;
+          p.state_bits = k;
+          p.disturbance_bits = 2;
+          p.control_bits = c;
+          p.fully_observable = (s % 3) != 2;  // every third one blinded
+          p.update_gates = 2 * k;
+          p.seed = seed_base++ * 7919 + s;
+          suite.push_back({make_name("controller", k, c, s), "controller",
+                           gen_controller(p)});
+        }
+      }
+    }
+  }
+
+  // Succinct SAT encodings (True).
+  {
+    std::vector<std::size_t> sizes{10, 16};
+    if (scale >= 2) {
+      sizes.push_back(24);
+      sizes.push_back(32);
+    }
+    for (const std::size_t n : sizes) {
+      for (std::uint64_t s = 0; s < scale + 1; ++s) {
+        SuccinctSatParams p;
+        p.num_vars = n;
+        p.seed = seed_base++ * 7919 + s;
+        suite.push_back({make_name("succinct", n, 3, s), "succinct_sat",
+                         gen_succinct_sat(p)});
+      }
+    }
+  }
+
+  // Split-dependency XOR chains (True; adversarial for Manthan3).
+  {
+    std::vector<std::size_t> pair_counts{1, 2, 3};
+    if (scale >= 2) pair_counts.push_back(4);
+    for (const std::size_t pcount : pair_counts) {
+      for (const bool with_shared : {false, true}) {
+        XorChainParams p;
+        p.num_pairs = pcount;
+        p.xor_with_shared = with_shared;
+        p.seed = seed_base++;
+        suite.push_back({make_name(with_shared ? "xorshared" : "xoreq",
+                                   pcount, 2, 0),
+                         "xor_chain", gen_xor_chain(p)});
+      }
+    }
+  }
+
+  // Unrealizable instances (False) — both the hard-to-refute and the
+  // extension-detectable kinds.
+  {
+    for (const std::size_t pcount : {std::size_t{1}, std::size_t{2}}) {
+      for (const bool detectable : {false, true}) {
+        UnrealizableParams p;
+        p.num_constraints = pcount;
+        p.extension_detectable = detectable;
+        p.seed = seed_base++;
+        suite.push_back({make_name(detectable ? "unrealext" : "unreal",
+                                   pcount, 1, 0),
+                         "unrealizable", gen_unrealizable(p)});
+      }
+    }
+  }
+
+  return suite;
+}
+
+}  // namespace manthan::workloads

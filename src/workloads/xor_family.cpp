@@ -1,0 +1,74 @@
+#include "workloads/gen_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::workloads {
+
+using cnf::Lit;
+using cnf::Var;
+
+dqbf::DqbfFormula gen_xor_chain(const XorChainParams& params) {
+  // Pair j uses universals {a_j, s_j, b_j} and existentials y_j, y'_j with
+  // the paper's incomparable dependency windows H = {a_j, s_j} and
+  // {s_j, b_j}. Constraint: ¬(y_j ⊕ y'_j), optionally ⊕ s_j. Both
+  // variants are True: the functions must factor through the shared s_j.
+  dqbf::DqbfFormula formula;
+  const std::size_t p = params.num_pairs;
+  for (std::size_t j = 0; j < 3 * p; ++j) {
+    formula.add_universal(static_cast<Var>(j));
+  }
+  for (std::size_t j = 0; j < p; ++j) {
+    const Var a = static_cast<Var>(3 * j);
+    const Var s = static_cast<Var>(3 * j + 1);
+    const Var b = static_cast<Var>(3 * j + 2);
+    const Var y0 = static_cast<Var>(3 * p + 2 * j);
+    const Var y1 = static_cast<Var>(3 * p + 2 * j + 1);
+    formula.add_existential(y0, {a, s});
+    formula.add_existential(y1, {s, b});
+    if (params.xor_with_shared) {
+      // y0 ⊕ y1 ↔ s  (CNF of a three-way XOR relation).
+      formula.matrix().add_ternary(cnf::neg(y0), cnf::neg(y1), cnf::neg(s));
+      formula.matrix().add_ternary(cnf::neg(y0), cnf::pos(y1), cnf::pos(s));
+      formula.matrix().add_ternary(cnf::pos(y0), cnf::neg(y1), cnf::pos(s));
+      formula.matrix().add_ternary(cnf::pos(y0), cnf::pos(y1), cnf::neg(s));
+    } else {
+      // ¬(y0 ⊕ y1): the exact shape of the paper's §5 limitation example.
+      formula.matrix().add_binary(cnf::neg(y0), cnf::pos(y1));
+      formula.matrix().add_binary(cnf::pos(y0), cnf::neg(y1));
+    }
+  }
+  return formula;
+}
+
+dqbf::DqbfFormula gen_unrealizable(const UnrealizableParams& params) {
+  // Constraint j: y_j ↔ (x_aj ⊕ x_bj) with H_j = {x_aj} only — no
+  // function of x_aj alone can track x_bj, so the DQBF is False.
+  dqbf::DqbfFormula formula;
+  const std::size_t p = params.num_constraints;
+  for (std::size_t j = 0; j < 2 * p; ++j) {
+    formula.add_universal(static_cast<Var>(j));
+  }
+  for (std::size_t j = 0; j < p; ++j) {
+    const Var xa = static_cast<Var>(2 * j);
+    const Var xb = static_cast<Var>(2 * j + 1);
+    const Var y = static_cast<Var>(2 * p + j);
+    formula.add_existential(y, {xa});
+    if (params.extension_detectable) {
+      // y ↔ xa and y ↔ xb: conflicting whenever xa ≠ xb, so the matrix
+      // itself is unsatisfiable under those X — refutable by the
+      // extension check of any engine.
+      formula.matrix().add_binary(cnf::neg(y), cnf::pos(xa));
+      formula.matrix().add_binary(cnf::pos(y), cnf::neg(xa));
+      formula.matrix().add_binary(cnf::neg(y), cnf::pos(xb));
+      formula.matrix().add_binary(cnf::pos(y), cnf::neg(xb));
+    } else {
+      // y ↔ xa ⊕ xb.
+      formula.matrix().add_ternary(cnf::neg(y), cnf::neg(xa), cnf::neg(xb));
+      formula.matrix().add_ternary(cnf::neg(y), cnf::pos(xa), cnf::pos(xb));
+      formula.matrix().add_ternary(cnf::pos(y), cnf::neg(xa), cnf::pos(xb));
+      formula.matrix().add_ternary(cnf::pos(y), cnf::pos(xa), cnf::neg(xb));
+    }
+  }
+  return formula;
+}
+
+}  // namespace manthan::workloads

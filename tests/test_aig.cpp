@@ -1,0 +1,263 @@
+// AIG package: hashing, folding, composition, support, CNF encoding, and
+// simulation agreement properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aig/aig.hpp"
+#include "aig/aig_cnf.hpp"
+#include "aig/aig_sim.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::aig {
+namespace {
+
+TEST(Aig, ConstantsAndNegation) {
+  EXPECT_EQ(ref_not(kFalseRef), kTrueRef);
+  EXPECT_EQ(ref_not(kTrueRef), kFalseRef);
+  EXPECT_EQ(Aig::constant(true), kTrueRef);
+  EXPECT_EQ(Aig::constant(false), kFalseRef);
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig m;
+  const Ref a = m.input(0);
+  EXPECT_EQ(m.and_gate(a, kFalseRef), kFalseRef);
+  EXPECT_EQ(m.and_gate(a, kTrueRef), a);
+  EXPECT_EQ(m.and_gate(a, a), a);
+  EXPECT_EQ(m.and_gate(a, ref_not(a)), kFalseRef);
+  EXPECT_EQ(m.or_gate(a, kTrueRef), kTrueRef);
+  EXPECT_EQ(m.or_gate(a, kFalseRef), a);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  EXPECT_EQ(m.and_gate(a, b), m.and_gate(b, a));
+  const std::size_t nodes = m.num_nodes();
+  (void)m.and_gate(a, b);
+  EXPECT_EQ(m.num_nodes(), nodes);
+}
+
+TEST(Aig, EvaluateBasicGates) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const Ref conj = m.and_gate(a, b);
+  const Ref x = m.xor_gate(a, b);
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      std::unordered_map<std::int32_t, bool> in{{0, va}, {1, vb}};
+      EXPECT_EQ(m.evaluate(conj, in), va && vb);
+      EXPECT_EQ(m.evaluate(x, in), va != vb);
+      EXPECT_EQ(m.evaluate(m.or_gate(a, b), in), va || vb);
+      EXPECT_EQ(m.evaluate(m.equiv_gate(a, b), in), va == vb);
+      EXPECT_EQ(m.evaluate(m.implies_gate(a, b), in), !va || vb);
+    }
+  }
+}
+
+TEST(Aig, IteSemantics) {
+  Aig m;
+  const Ref c = m.input(0);
+  const Ref t = m.input(1);
+  const Ref e = m.input(2);
+  const Ref ite = m.ite_gate(c, t, e);
+  for (int bits = 0; bits < 8; ++bits) {
+    std::unordered_map<std::int32_t, bool> in{
+        {0, (bits & 1) != 0}, {1, (bits & 2) != 0}, {2, (bits & 4) != 0}};
+    EXPECT_EQ(m.evaluate(ite, in), in[0] ? in[1] : in[2]);
+  }
+}
+
+TEST(Aig, AndAllOrAll) {
+  Aig m;
+  std::vector<Ref> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(m.input(i));
+  const Ref conj = m.and_all(inputs);
+  const Ref disj = m.or_all(inputs);
+  EXPECT_EQ(m.and_all({}), kTrueRef);
+  EXPECT_EQ(m.or_all({}), kFalseRef);
+  std::unordered_map<std::int32_t, bool> all_true;
+  std::unordered_map<std::int32_t, bool> one_false;
+  for (int i = 0; i < 5; ++i) {
+    all_true[i] = true;
+    one_false[i] = i != 2;
+  }
+  EXPECT_TRUE(m.evaluate(conj, all_true));
+  EXPECT_FALSE(m.evaluate(conj, one_false));
+  EXPECT_TRUE(m.evaluate(disj, one_false));
+}
+
+TEST(Aig, SupportReflectsCone) {
+  Aig m;
+  const Ref a = m.input(3);
+  const Ref b = m.input(7);
+  const Ref c = m.input(5);
+  const Ref f = m.or_gate(m.and_gate(a, b), c);
+  EXPECT_EQ(m.support(f), (std::vector<std::int32_t>{3, 5, 7}));
+  EXPECT_TRUE(m.support(kTrueRef).empty());
+  EXPECT_EQ(m.support(a), (std::vector<std::int32_t>{3}));
+}
+
+TEST(Aig, ComposeSubstitutesInputs) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const Ref c = m.input(2);
+  const Ref f = m.xor_gate(a, b);
+  // b := a & c  =>  f' = a xor (a & c)
+  const Ref composed = m.compose(f, {{1, m.and_gate(a, c)}});
+  for (int bits = 0; bits < 8; ++bits) {
+    std::unordered_map<std::int32_t, bool> in{
+        {0, (bits & 1) != 0}, {1, (bits & 2) != 0}, {2, (bits & 4) != 0}};
+    EXPECT_EQ(m.evaluate(composed, in), in[0] != (in[0] && in[2]));
+  }
+  // Substituted variable no longer in support.
+  const auto support = m.support(composed);
+  EXPECT_EQ(std::count(support.begin(), support.end(), 1), 0);
+}
+
+TEST(Aig, ComposeIsSimultaneous) {
+  // swap inputs: {0 -> x1, 1 -> x0} must not cascade.
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const Ref f = m.and_gate(a, ref_not(b));
+  const Ref swapped = m.compose(f, {{0, b}, {1, a}});
+  std::unordered_map<std::int32_t, bool> in{{0, false}, {1, true}};
+  EXPECT_EQ(m.evaluate(swapped, in), true && !false);
+}
+
+TEST(Aig, CofactorFixesInput) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const Ref f = m.xor_gate(a, b);
+  const Ref f1 = m.cofactor(f, 0, true);
+  std::unordered_map<std::int32_t, bool> in{{1, true}};
+  EXPECT_FALSE(m.evaluate(f1, in));
+  in[1] = false;
+  EXPECT_TRUE(m.evaluate(f1, in));
+}
+
+TEST(AigSim, Simulate64MatchesEvaluate) {
+  util::Rng rng(42);
+  Aig m;
+  std::vector<Ref> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(m.input(i));
+  for (int g = 0; g < 30; ++g) {
+    const Ref a = pool[rng.next_below(pool.size())] ^
+                  static_cast<Ref>(rng.flip());
+    const Ref b = pool[rng.next_below(pool.size())] ^
+                  static_cast<Ref>(rng.flip());
+    pool.push_back(m.and_gate(a, b));
+  }
+  const Ref f = pool.back();
+  std::unordered_map<std::int32_t, std::uint64_t> patterns;
+  for (int i = 0; i < 6; ++i) patterns[i] = rng.next();
+  const std::uint64_t word = simulate64(m, f, patterns);
+  for (int bit = 0; bit < 64; ++bit) {
+    std::unordered_map<std::int32_t, bool> in;
+    for (int i = 0; i < 6; ++i) in[i] = ((patterns[i] >> bit) & 1) != 0;
+    EXPECT_EQ(((word >> bit) & 1) != 0, m.evaluate(f, in)) << "bit " << bit;
+  }
+}
+
+TEST(AigSim, TautologyDetection) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  EXPECT_TRUE(is_tautology(m, kTrueRef));
+  EXPECT_FALSE(is_tautology(m, kFalseRef));
+  EXPECT_TRUE(is_tautology(m, m.or_gate(a, ref_not(a))));
+  EXPECT_FALSE(is_tautology(m, m.or_gate(a, b)));
+  // (a -> b) or (b -> a) is a tautology.
+  EXPECT_TRUE(is_tautology(
+      m, m.or_gate(m.implies_gate(a, b), m.implies_gate(b, a))));
+}
+
+TEST(AigSim, TautologyWithManyInputs) {
+  // Force the multi-word path (> 6 support variables).
+  Aig m;
+  std::vector<Ref> ins;
+  for (int i = 0; i < 9; ++i) ins.push_back(m.input(i));
+  const Ref conj = m.and_all(ins);
+  EXPECT_TRUE(is_tautology(m, m.or_gate(conj, ref_not(conj))));
+  EXPECT_FALSE(is_tautology(m, m.or_all(ins)));
+}
+
+TEST(AigSim, SemanticEquality) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  // De Morgan.
+  const Ref lhs = ref_not(m.and_gate(a, b));
+  const Ref rhs = m.or_gate(ref_not(a), ref_not(b));
+  EXPECT_TRUE(semantically_equal(m, lhs, rhs));
+  EXPECT_FALSE(semantically_equal(m, a, b));
+}
+
+TEST(AigSim, TruthTable) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const std::vector<bool> tt = truth_table(m, m.and_gate(a, b), {0, 1});
+  EXPECT_EQ(tt, (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(AigCnf, EncodingEquisatisfiable) {
+  // SAT check of an encoded cone agrees with simulation.
+  util::Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    Aig m;
+    std::vector<Ref> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(m.input(i));
+    for (int g = 0; g < 15; ++g) {
+      const Ref a = pool[rng.next_below(pool.size())] ^
+                    static_cast<Ref>(rng.flip());
+      const Ref b = pool[rng.next_below(pool.size())] ^
+                    static_cast<Ref>(rng.flip());
+      pool.push_back(m.and_gate(a, b));
+    }
+    const Ref f = pool.back() ^ static_cast<Ref>(rng.flip());
+
+    cnf::CnfFormula cnf_formula(5);
+    const cnf::Lit root = encode_cone(m, f, cnf_formula);
+    cnf_formula.add_unit(root);
+    sat::Solver solver;
+    const bool ok = solver.add_formula(cnf_formula);
+    const sat::Result r = ok ? solver.solve() : sat::Result::kUnsat;
+
+    // f satisfiable (not constant-false over its support)?
+    const bool satisfiable = !is_tautology(m, ref_not(f));
+    EXPECT_EQ(r == sat::Result::kSat, satisfiable);
+    if (r == sat::Result::kSat) {
+      std::unordered_map<std::int32_t, bool> in;
+      for (int i = 0; i < 5; ++i) in[i] = solver.model().value(i);
+      EXPECT_TRUE(m.evaluate(f, in));
+    }
+  }
+}
+
+TEST(AigCnf, ConstantCone) {
+  Aig m;
+  cnf::CnfFormula f(0);
+  const cnf::Lit t = encode_cone(m, kTrueRef, f);
+  f.add_unit(t);
+  sat::Solver solver;
+  solver.add_formula(f);
+  EXPECT_EQ(solver.solve(), sat::Result::kSat);
+
+  cnf::CnfFormula g(0);
+  const cnf::Lit fl = encode_cone(m, kFalseRef, g);
+  g.add_unit(fl);
+  sat::Solver solver2;
+  const bool ok = solver2.add_formula(g);
+  EXPECT_TRUE(!ok || solver2.solve() == sat::Result::kUnsat);
+}
+
+}  // namespace
+}  // namespace manthan::aig

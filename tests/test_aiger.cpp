@@ -1,0 +1,119 @@
+// AIGER ASCII I/O: parsing, writing, semantic round-trips, malformed
+// input rejection.
+#include <gtest/gtest.h>
+
+#include "aig/aig_sim.hpp"
+#include "aig/aiger.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::aig {
+namespace {
+
+TEST(Aiger, ParsesAndGate) {
+  // aag: 3 vars, inputs 2 and 4, output 6, AND 6 = 2 & 4.
+  Aig m;
+  const AigerModule module =
+      read_aiger_ascii_string("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n", m);
+  EXPECT_EQ(module.num_inputs, 2u);
+  ASSERT_EQ(module.outputs.size(), 1u);
+  std::unordered_map<std::int32_t, bool> in{{0, true}, {1, true}};
+  EXPECT_TRUE(m.evaluate(module.outputs[0], in));
+  in[1] = false;
+  EXPECT_FALSE(m.evaluate(module.outputs[0], in));
+}
+
+TEST(Aiger, ParsesComplementedEdges) {
+  // Output = ~(2 & ~4) = ~in0 | in1.
+  Aig m;
+  const AigerModule module =
+      read_aiger_ascii_string("aag 3 2 0 1 1\n2\n4\n7\n6 2 5\n", m);
+  std::unordered_map<std::int32_t, bool> in{{0, true}, {1, false}};
+  EXPECT_FALSE(m.evaluate(module.outputs[0], in));
+  in[1] = true;
+  EXPECT_TRUE(m.evaluate(module.outputs[0], in));
+}
+
+TEST(Aiger, ParsesConstants) {
+  Aig m;
+  const AigerModule module =
+      read_aiger_ascii_string("aag 1 1 0 2 0\n2\n0\n1\n", m);
+  ASSERT_EQ(module.outputs.size(), 2u);
+  EXPECT_EQ(module.outputs[0], kFalseRef);
+  EXPECT_EQ(module.outputs[1], kTrueRef);
+}
+
+TEST(Aiger, RejectsMalformedInput) {
+  Aig m;
+  EXPECT_THROW(read_aiger_ascii_string("aig 1 1 0 1 0\n2\n2\n", m),
+               std::runtime_error);  // binary header
+  EXPECT_THROW(read_aiger_ascii_string("aag 2 1 1 1 0\n2\n4 2\n2\n", m),
+               std::runtime_error);  // latches
+  EXPECT_THROW(read_aiger_ascii_string("aag 2 1 0 1 0\n3\n2\n", m),
+               std::runtime_error);  // odd input literal
+  EXPECT_THROW(read_aiger_ascii_string("aag 2 1 0 1 1\n2\n4\n4 6 2\n", m),
+               std::runtime_error);  // fanin before definition
+}
+
+TEST(Aiger, WriteProducesValidHeader) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const std::string text = to_aiger_ascii_string(m, {m.and_gate(a, b)});
+  EXPECT_EQ(text.rfind("aag 3 2 0 1 1", 0), 0u);
+}
+
+TEST(Aiger, RoundTripPreservesSemantics) {
+  util::Rng rng(123);
+  for (int round = 0; round < 10; ++round) {
+    // Random cone.
+    Aig m;
+    std::vector<Ref> pool;
+    for (int i = 0; i < 5; ++i) pool.push_back(m.input(i));
+    for (int g = 0; g < 20; ++g) {
+      const Ref a = pool[rng.next_below(pool.size())] ^
+                    static_cast<Ref>(rng.flip());
+      const Ref b = pool[rng.next_below(pool.size())] ^
+                    static_cast<Ref>(rng.flip());
+      pool.push_back(m.and_gate(a, b));
+    }
+    const Ref f = pool.back() ^ static_cast<Ref>(rng.flip());
+
+    const std::string text = to_aiger_ascii_string(m, {f});
+    Aig m2;
+    const AigerModule module = read_aiger_ascii_string(text, m2);
+    ASSERT_EQ(module.outputs.size(), 1u);
+
+    // Input id k of the round-trip corresponds to the k-th smallest
+    // original input id in the cone's support.
+    const std::vector<std::int32_t> support = m.support(f);
+    for (int bits = 0; bits < 32; ++bits) {
+      std::unordered_map<std::int32_t, bool> in_original;
+      std::unordered_map<std::int32_t, bool> in_roundtrip;
+      for (int i = 0; i < 5; ++i) {
+        in_original[i] = ((bits >> i) & 1) != 0;
+      }
+      for (std::size_t k = 0; k < support.size(); ++k) {
+        in_roundtrip[static_cast<std::int32_t>(k)] =
+            in_original[support[k]];
+      }
+      EXPECT_EQ(m2.evaluate(module.outputs[0], in_roundtrip),
+                m.evaluate(f, in_original));
+    }
+  }
+}
+
+TEST(Aiger, MultipleOutputsShareCone) {
+  Aig m;
+  const Ref a = m.input(0);
+  const Ref b = m.input(1);
+  const Ref conj = m.and_gate(a, b);
+  const std::string text =
+      to_aiger_ascii_string(m, {conj, ref_not(conj)});
+  Aig m2;
+  const AigerModule module = read_aiger_ascii_string(text, m2);
+  ASSERT_EQ(module.outputs.size(), 2u);
+  EXPECT_EQ(module.outputs[0], ref_not(module.outputs[1]));
+}
+
+}  // namespace
+}  // namespace manthan::aig

@@ -1,0 +1,119 @@
+// Independent certificate checker: valid vectors accepted, invalid ones
+// refuted with counterexamples, dependency violations flagged.
+#include <gtest/gtest.h>
+
+#include "dqbf/certificate.hpp"
+#include "dqbf/dqbf.hpp"
+
+namespace manthan::dqbf {
+namespace {
+
+using cnf::neg;
+using cnf::pos;
+
+/// ∀x1,x2 ∃{x1}y. (y ↔ x1)
+DqbfFormula identity_spec() {
+  DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0});
+  f.matrix().add_clause({neg(2), pos(0)});
+  f.matrix().add_clause({pos(2), neg(0)});
+  return f;
+}
+
+TEST(Certificate, AcceptsCorrectVector) {
+  const DqbfFormula f = identity_spec();
+  aig::Aig manager;
+  HenkinVector v{{manager.input(0)}};
+  const CertificateResult r = check_certificate(f, manager, v);
+  EXPECT_EQ(r.status, CertificateStatus::kValid);
+  EXPECT_FALSE(r.counterexample.has_value());
+}
+
+TEST(Certificate, RejectsWrongVectorWithCounterexample) {
+  const DqbfFormula f = identity_spec();
+  aig::Aig manager;
+  HenkinVector v{{aig::ref_not(manager.input(0))}};  // y = ¬x1: wrong
+  const CertificateResult r = check_certificate(f, manager, v);
+  ASSERT_EQ(r.status, CertificateStatus::kInvalid);
+  ASSERT_TRUE(r.counterexample.has_value());
+  // On the counterexample, substituting f makes some clause false:
+  // y-value = ¬x1 must violate y ↔ x1.
+  const cnf::Assignment& cex = *r.counterexample;
+  EXPECT_EQ(cex.value(cnf::Var{2}), !cex.value(cnf::Var{0}));
+}
+
+TEST(Certificate, FlagsDependencyViolation) {
+  const DqbfFormula f = identity_spec();
+  aig::Aig manager;
+  // Function mentions x2 (var 1) which is outside H = {x1}.
+  HenkinVector v{{manager.or_gate(manager.input(0), manager.input(1))}};
+  const CertificateResult r = check_certificate(f, manager, v);
+  EXPECT_EQ(r.status, CertificateStatus::kDependencyError);
+}
+
+TEST(Certificate, FlagsWrongArity) {
+  const DqbfFormula f = identity_spec();
+  aig::Aig manager;
+  HenkinVector v{{}};  // no functions at all
+  EXPECT_EQ(check_certificate(f, manager, v).status,
+            CertificateStatus::kDependencyError);
+}
+
+TEST(Certificate, ConstantFunctionsWhereSufficient) {
+  // ∀x ∃{}y. (y ∨ x ∨ ¬x) — any constant works; check y := false.
+  DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {});
+  f.matrix().add_clause({pos(1), pos(0), neg(0)});
+  aig::Aig manager;
+  HenkinVector v{{aig::kFalseRef}};
+  EXPECT_EQ(check_certificate(f, manager, v).status,
+            CertificateStatus::kValid);
+}
+
+TEST(Certificate, PaperExampleFinalVector) {
+  // §5 example with the repaired functions f1=¬x1, f2=y1∨¬x2 (expanded to
+  // ¬x1 ∨ ¬x2), f3=x3∨(¬x3∧x2).
+  DqbfFormula f;
+  for (Var x = 0; x < 3; ++x) f.add_universal(x);
+  f.add_existential(3, {0});
+  f.add_existential(4, {0, 1});
+  f.add_existential(5, {1, 2});
+  f.matrix().add_clause({pos(0), pos(3)});
+  f.matrix().add_clause({neg(4), pos(3), neg(1)});
+  f.matrix().add_clause({pos(4), neg(3)});
+  f.matrix().add_clause({pos(4), pos(1)});
+  f.matrix().add_clause({neg(5), pos(1), pos(2)});
+  f.matrix().add_clause({pos(5), neg(1)});
+  f.matrix().add_clause({pos(5), neg(2)});
+
+  aig::Aig m;
+  const aig::Ref f1 = aig::ref_not(m.input(0));
+  const aig::Ref f2 = m.or_gate(aig::ref_not(m.input(0)),
+                                aig::ref_not(m.input(1)));
+  const aig::Ref f3 = m.or_gate(m.input(2),
+                                m.and_gate(aig::ref_not(m.input(2)),
+                                           m.input(1)));
+  HenkinVector v{{f1, f2, f3}};
+  EXPECT_EQ(check_certificate(f, m, v).status, CertificateStatus::kValid);
+
+  // The pre-repair vector f2 = y1 (i.e. ¬x1) fails.
+  HenkinVector bad{{f1, aig::ref_not(m.input(0)), f3}};
+  EXPECT_EQ(check_certificate(f, m, bad).status,
+            CertificateStatus::kInvalid);
+}
+
+TEST(Certificate, RefutationCnfHasSelectors) {
+  const DqbfFormula f = identity_spec();
+  aig::Aig manager;
+  HenkinVector v{{manager.input(0)}};
+  const cnf::CnfFormula refutation = build_refutation_cnf(f, manager, v);
+  // More variables than the matrix (selectors + function ties).
+  EXPECT_GT(refutation.num_vars(), f.matrix().num_vars());
+  EXPECT_GT(refutation.num_clauses(), f.matrix().num_clauses());
+}
+
+}  // namespace
+}  // namespace manthan::dqbf

@@ -1,0 +1,130 @@
+// CNF data structures and DIMACS round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cnf/cnf.hpp"
+#include "cnf/dimacs.hpp"
+
+namespace manthan::cnf {
+namespace {
+
+TEST(Lit, EncodingRoundTrips) {
+  const Lit a = pos(3);
+  EXPECT_EQ(a.var(), 3);
+  EXPECT_FALSE(a.negated());
+  EXPECT_EQ((~a).var(), 3);
+  EXPECT_TRUE((~a).negated());
+  EXPECT_EQ(~~a, a);
+}
+
+TEST(Lit, DimacsConversion) {
+  EXPECT_EQ(Lit::from_dimacs(5), pos(4));
+  EXPECT_EQ(Lit::from_dimacs(-5), neg(4));
+  EXPECT_EQ(pos(4).to_dimacs(), 5);
+  EXPECT_EQ(neg(4).to_dimacs(), -5);
+}
+
+TEST(Lit, XorWithBoolFlipsSign) {
+  EXPECT_EQ(pos(2) ^ true, neg(2));
+  EXPECT_EQ(pos(2) ^ false, pos(2));
+  EXPECT_EQ(neg(2) ^ true, pos(2));
+}
+
+TEST(LBoolOps, XorSemantics) {
+  EXPECT_EQ(LBool::kTrue ^ true, LBool::kFalse);
+  EXPECT_EQ(LBool::kFalse ^ true, LBool::kTrue);
+  EXPECT_EQ(LBool::kUndef ^ true, LBool::kUndef);
+}
+
+TEST(Assignment, LiteralValues) {
+  Assignment a(3);
+  a.set(1, true);
+  EXPECT_TRUE(a.value(pos(1)));
+  EXPECT_FALSE(a.value(neg(1)));
+  EXPECT_FALSE(a.value(pos(0)));
+  EXPECT_TRUE(a.value(neg(0)));
+}
+
+TEST(CnfFormula, TracksVariableCount) {
+  CnfFormula f;
+  f.add_clause({pos(0), neg(4)});
+  EXPECT_EQ(f.num_vars(), 5);
+  EXPECT_EQ(f.num_clauses(), 1u);
+  const Var v = f.new_var();
+  EXPECT_EQ(v, 5);
+  EXPECT_EQ(f.num_vars(), 6);
+}
+
+TEST(CnfFormula, SatisfiedBy) {
+  CnfFormula f;
+  f.add_clause({pos(0), pos(1)});
+  f.add_clause({neg(0), pos(1)});
+  Assignment a(2);
+  a.set(1, true);
+  EXPECT_TRUE(f.satisfied_by(a));
+  a.set(1, false);
+  EXPECT_FALSE(f.satisfied_by(a));
+}
+
+TEST(CnfFormula, AppendMergesClauses) {
+  CnfFormula a;
+  a.add_clause({pos(0)});
+  CnfFormula b;
+  b.add_clause({pos(1), neg(2)});
+  a.append(b);
+  EXPECT_EQ(a.num_clauses(), 2u);
+  EXPECT_EQ(a.num_vars(), 3);
+}
+
+TEST(Equivalence, EncodesBothDirections) {
+  CnfFormula f(2);
+  add_equivalence(f, pos(0), pos(1));
+  Assignment a(2);
+  a.set(0, true);
+  a.set(1, true);
+  EXPECT_TRUE(f.satisfied_by(a));
+  a.set(1, false);
+  EXPECT_FALSE(f.satisfied_by(a));
+  a.set(0, false);
+  EXPECT_TRUE(f.satisfied_by(a));
+}
+
+TEST(Dimacs, ParsesSimpleFormula) {
+  const CnfFormula f = parse_dimacs_string(
+      "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(f.num_vars(), 3);
+  ASSERT_EQ(f.num_clauses(), 2u);
+  EXPECT_EQ(f.clause(0), (Clause{pos(0), neg(1)}));
+  EXPECT_EQ(f.clause(1), (Clause{pos(1), pos(2)}));
+}
+
+TEST(Dimacs, RoundTrips) {
+  CnfFormula f(4);
+  f.add_clause({pos(0), neg(3)});
+  f.add_clause({neg(1), pos(2), pos(3)});
+  std::ostringstream os;
+  write_dimacs(os, f);
+  const CnfFormula g = parse_dimacs_string(os.str());
+  EXPECT_EQ(g.num_vars(), f.num_vars());
+  ASSERT_EQ(g.num_clauses(), f.num_clauses());
+  for (std::size_t i = 0; i < f.num_clauses(); ++i) {
+    EXPECT_EQ(g.clause(i), f.clause(i));
+  }
+}
+
+TEST(Dimacs, RejectsMissingHeader) {
+  EXPECT_THROW(parse_dimacs_string("1 2 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsGarbageToken) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 frog 0\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace manthan::cnf

@@ -1,0 +1,109 @@
+// Dependency manager: transitive closure, cycle prevention, FindOrder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dependency.hpp"
+
+namespace manthan::core {
+namespace {
+
+std::size_t position_of(const std::vector<std::size_t>& order,
+                        std::size_t value) {
+  return static_cast<std::size_t>(
+      std::find(order.begin(), order.end(), value) - order.begin());
+}
+
+TEST(DependencyManager, InitiallyIndependent) {
+  DependencyManager d(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_FALSE(d.depends_on(i, j));
+      EXPECT_EQ(d.can_use(i, j), i != j);
+    }
+  }
+}
+
+TEST(DependencyManager, RecordUseCreatesDependency) {
+  DependencyManager d(3);
+  d.record_use(0, 1);  // y0 uses y1
+  EXPECT_TRUE(d.depends_on(0, 1));
+  EXPECT_FALSE(d.depends_on(1, 0));
+  // y1 may no longer use y0 (cycle).
+  EXPECT_FALSE(d.can_use(1, 0));
+  // Unrelated pairs unaffected.
+  EXPECT_TRUE(d.can_use(0, 2));
+  EXPECT_TRUE(d.can_use(2, 0));
+}
+
+TEST(DependencyManager, TransitiveClosureMaintained) {
+  DependencyManager d(4);
+  d.record_use(0, 1);  // y0 -> y1
+  d.record_use(1, 2);  // y1 -> y2; hence y0 -> y2
+  EXPECT_TRUE(d.depends_on(0, 2));
+  EXPECT_FALSE(d.can_use(2, 0));
+  EXPECT_FALSE(d.can_use(2, 1));
+  // Adding y2 -> y3 propagates to everything upstream.
+  d.record_use(2, 3);
+  EXPECT_TRUE(d.depends_on(0, 3));
+  EXPECT_TRUE(d.depends_on(1, 3));
+  EXPECT_FALSE(d.can_use(3, 0));
+}
+
+TEST(DependencyManager, ClosureWhenDependentAddedLate) {
+  DependencyManager d(3);
+  d.record_use(1, 2);  // y1 -> y2
+  d.record_use(0, 1);  // y0 -> y1 must inherit y0 -> y2
+  EXPECT_TRUE(d.depends_on(0, 2));
+}
+
+TEST(DependencyManager, FindOrderRespectsDependencies) {
+  DependencyManager d(4);
+  d.record_use(0, 1);
+  d.record_use(1, 3);
+  d.record_use(2, 3);
+  const std::vector<std::size_t> order = d.find_order();
+  ASSERT_EQ(order.size(), 4u);
+  // Dependent must come before its dependency.
+  EXPECT_LT(position_of(order, 0), position_of(order, 1));
+  EXPECT_LT(position_of(order, 1), position_of(order, 3));
+  EXPECT_LT(position_of(order, 2), position_of(order, 3));
+}
+
+TEST(DependencyManager, FindOrderIsPermutation) {
+  DependencyManager d(5);
+  d.record_use(3, 0);
+  d.record_use(4, 2);
+  std::vector<std::size_t> order = d.find_order();
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(DependencyManager, FindOrderDeterministic) {
+  DependencyManager a(4);
+  DependencyManager b(4);
+  a.record_use(2, 1);
+  b.record_use(2, 1);
+  EXPECT_EQ(a.find_order(), b.find_order());
+}
+
+TEST(DependencyManager, EmptyManagerOrder) {
+  DependencyManager d(0);
+  EXPECT_TRUE(d.find_order().empty());
+}
+
+TEST(DependencyManager, DiamondDependencies) {
+  // y0 -> y1 -> y3, y0 -> y2 -> y3.
+  DependencyManager d(4);
+  d.record_use(0, 1);
+  d.record_use(0, 2);
+  d.record_use(1, 3);
+  d.record_use(2, 3);
+  EXPECT_TRUE(d.depends_on(0, 3));
+  const auto order = d.find_order();
+  EXPECT_EQ(position_of(order, 0), 0u);
+  EXPECT_EQ(position_of(order, 3), 3u);
+}
+
+}  // namespace
+}  // namespace manthan::core

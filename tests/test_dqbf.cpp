@@ -1,0 +1,137 @@
+// DQBF container and DQDIMACS parsing/writing.
+#include <gtest/gtest.h>
+
+#include "dqbf/dqbf.hpp"
+#include "dqbf/dqdimacs.hpp"
+
+namespace manthan::dqbf {
+namespace {
+
+using cnf::neg;
+using cnf::pos;
+
+DqbfFormula paper_example() {
+  // ∀x1,x2,x3 ∃{x1}y1 ∃{x1,x2}y2 ∃{x2,x3}y3.
+  // (x1 ∨ y1) ∧ (y2 ↔ (y1 ∨ ¬x2)) ∧ (y3 ↔ (x2 ∨ x3))
+  DqbfFormula f;
+  for (Var x = 0; x < 3; ++x) f.add_universal(x);
+  f.add_existential(3, {0});
+  f.add_existential(4, {0, 1});
+  f.add_existential(5, {1, 2});
+  f.matrix().add_clause({pos(0), pos(3)});
+  f.matrix().add_clause({neg(4), pos(3), neg(1)});
+  f.matrix().add_clause({pos(4), neg(3)});
+  f.matrix().add_clause({pos(4), pos(1)});
+  f.matrix().add_clause({neg(5), pos(1), pos(2)});
+  f.matrix().add_clause({pos(5), neg(1)});
+  f.matrix().add_clause({pos(5), neg(2)});
+  return f;
+}
+
+TEST(DqbfFormula, QuantifierClassification) {
+  const DqbfFormula f = paper_example();
+  EXPECT_EQ(f.num_universals(), 3u);
+  EXPECT_EQ(f.num_existentials(), 3u);
+  EXPECT_TRUE(f.is_universal(0));
+  EXPECT_FALSE(f.is_universal(3));
+  EXPECT_TRUE(f.is_existential(4));
+  EXPECT_EQ(f.existential_index(5), 2u);
+}
+
+TEST(DqbfFormula, DepsSubsetAndEqual) {
+  const DqbfFormula f = paper_example();
+  EXPECT_TRUE(f.deps_subset(0, 1));   // {x1} ⊆ {x1,x2}
+  EXPECT_FALSE(f.deps_subset(1, 0));
+  EXPECT_FALSE(f.deps_subset(2, 1));  // {x2,x3} ⊄ {x1,x2}
+  EXPECT_TRUE(f.deps_equal(0, 0));
+  EXPECT_FALSE(f.deps_equal(0, 1));
+}
+
+TEST(DqbfFormula, IsSkolemDetection) {
+  DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0, 1});
+  EXPECT_TRUE(f.is_skolem());
+  f.add_existential(3, {0});
+  EXPECT_FALSE(f.is_skolem());
+}
+
+TEST(DqbfFormula, DepsDeduplicatedAndSorted) {
+  DqbfFormula f;
+  f.add_universal(2);
+  f.add_universal(0);
+  f.add_existential(3, {2, 0, 2});
+  EXPECT_EQ(f.existentials()[0].deps, (std::vector<Var>{0, 2}));
+}
+
+TEST(DqbfFormula, ValidateCatchesProblems) {
+  DqbfFormula ok = paper_example();
+  EXPECT_TRUE(ok.validate().empty());
+
+  DqbfFormula unquantified;
+  unquantified.add_universal(0);
+  unquantified.matrix().add_clause({pos(0), pos(1)});
+  EXPECT_FALSE(unquantified.validate().empty());
+
+  DqbfFormula bad_dep;
+  bad_dep.add_universal(0);
+  bad_dep.add_existential(1, {0});
+  bad_dep.add_existential(2, {1});  // depends on an existential
+  EXPECT_FALSE(bad_dep.validate().empty());
+}
+
+TEST(Dqdimacs, ParsesDLines) {
+  const DqbfFormula f = parse_dqdimacs_string(
+      "p cnf 5 2\n"
+      "a 1 2 0\n"
+      "d 3 1 0\n"
+      "d 4 1 2 0\n"
+      "e 5 0\n"
+      "1 3 0\n"
+      "-4 5 2 0\n");
+  EXPECT_EQ(f.num_universals(), 2u);
+  ASSERT_EQ(f.num_existentials(), 3u);
+  EXPECT_EQ(f.existentials()[0].deps, (std::vector<Var>{0}));
+  EXPECT_EQ(f.existentials()[1].deps, (std::vector<Var>{0, 1}));
+  // e-line: depends on all universals declared so far.
+  EXPECT_EQ(f.existentials()[2].deps, (std::vector<Var>{0, 1}));
+  EXPECT_EQ(f.matrix().num_clauses(), 2u);
+}
+
+TEST(Dqdimacs, RoundTrips) {
+  const DqbfFormula f = paper_example();
+  const std::string text = to_dqdimacs_string(f);
+  const DqbfFormula g = parse_dqdimacs_string(text);
+  EXPECT_EQ(g.num_universals(), f.num_universals());
+  ASSERT_EQ(g.num_existentials(), f.num_existentials());
+  for (std::size_t i = 0; i < f.num_existentials(); ++i) {
+    EXPECT_EQ(g.existentials()[i].var, f.existentials()[i].var);
+    EXPECT_EQ(g.existentials()[i].deps, f.existentials()[i].deps);
+  }
+  ASSERT_EQ(g.matrix().num_clauses(), f.matrix().num_clauses());
+  for (std::size_t c = 0; c < f.matrix().num_clauses(); ++c) {
+    EXPECT_EQ(g.matrix().clause(c), f.matrix().clause(c));
+  }
+}
+
+TEST(Dqdimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dqdimacs_string("a 1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\n1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\nd 0\n1 0\n"),
+               std::runtime_error);
+  // Unquantified matrix variable.
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\n1 2 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dqdimacs, CommentsIgnored) {
+  const DqbfFormula f = parse_dqdimacs_string(
+      "c hello\np cnf 2 1\nc mid comment\na 1 0\nd 2 1 0\n1 2 0\n");
+  EXPECT_EQ(f.num_universals(), 1u);
+  EXPECT_EQ(f.num_existentials(), 1u);
+}
+
+}  // namespace
+}  // namespace manthan::dqbf

@@ -1,0 +1,92 @@
+// Instance statistics: dependency-lattice metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dqbf/stats.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::dqbf {
+namespace {
+
+TEST(DqbfStats, PaperExampleMetrics) {
+  // H1={x1}, H2={x1,x2}, H3={x2,x3}.
+  DqbfFormula f;
+  for (Var x = 0; x < 3; ++x) f.add_universal(x);
+  f.add_existential(3, {0});
+  f.add_existential(4, {0, 1});
+  f.add_existential(5, {1, 2});
+  f.matrix().add_clause({cnf::pos(0), cnf::pos(3)});
+  const InstanceStats s = compute_stats(f);
+  EXPECT_EQ(s.num_universals, 3u);
+  EXPECT_EQ(s.num_existentials, 3u);
+  EXPECT_EQ(s.common_dependency_core, 0u);  // ∩ = {}
+  EXPECT_EQ(s.nonlinear_universals, 3u);
+  EXPECT_EQ(s.subset_pairs, 1u);            // H1 ⊆ H2 only
+  EXPECT_EQ(s.incomparable_pairs, 2u);      // (1,3) and (2,3)
+  EXPECT_EQ(s.full_dependency_outputs, 0u);
+  EXPECT_NEAR(s.dependency_density, (1.0 / 3 + 2.0 / 3 + 2.0 / 3) / 3,
+              1e-9);
+}
+
+TEST(DqbfStats, SkolemInstanceIsFullyLinear) {
+  DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0, 1});
+  f.add_existential(3, {0, 1});
+  f.matrix().add_clause({cnf::pos(2), cnf::pos(3)});
+  const InstanceStats s = compute_stats(f);
+  EXPECT_EQ(s.common_dependency_core, 2u);
+  EXPECT_EQ(s.nonlinear_universals, 0u);
+  EXPECT_EQ(s.full_dependency_outputs, 2u);
+  EXPECT_EQ(s.incomparable_pairs, 0u);
+  EXPECT_DOUBLE_EQ(s.dependency_density, 1.0);
+  // Subset pairs: both directions for equal sets.
+  EXPECT_EQ(s.subset_pairs, 2u);
+}
+
+TEST(DqbfStats, NoExistentialsConvention) {
+  DqbfFormula f;
+  f.add_universal(0);
+  f.matrix().add_clause({cnf::pos(0), cnf::neg(0)});
+  const InstanceStats s = compute_stats(f);
+  EXPECT_EQ(s.common_dependency_core, 1u);
+  EXPECT_EQ(s.nonlinear_universals, 0u);
+  EXPECT_EQ(s.dependency_density, 0.0);
+}
+
+TEST(DqbfStats, XorChainIsMaximallyIncomparable) {
+  const DqbfFormula f = workloads::gen_xor_chain({2, false, 1});
+  const InstanceStats s = compute_stats(f);
+  // 4 existentials with pairwise incomparable windows (within and across
+  // pairs).
+  EXPECT_EQ(s.incomparable_pairs, 6u);
+  EXPECT_EQ(s.subset_pairs, 0u);
+  EXPECT_EQ(s.common_dependency_core, 0u);
+}
+
+TEST(DqbfStats, LiteralCountsAccumulate) {
+  DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.matrix().add_clause({cnf::pos(0), cnf::pos(1)});
+  f.matrix().add_clause({cnf::neg(0), cnf::pos(1), cnf::neg(1)});
+  const InstanceStats s = compute_stats(f);
+  EXPECT_EQ(s.num_clauses, 2u);
+  EXPECT_EQ(s.num_literals, 5u);
+}
+
+TEST(DqbfStats, RenderingIsAligned) {
+  std::ostringstream os;
+  print_stats_header(os);
+  print_stats_row(os, "demo", compute_stats(workloads::gen_succinct_sat(
+                                  {8, 3.0, 1})));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("instance"), std::string::npos);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("nonlin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manthan::dqbf

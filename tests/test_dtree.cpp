@@ -1,0 +1,156 @@
+// Decision-tree learner: fitting behaviour, extraction to AIG, and the
+// tree == formula agreement property.
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "dtree/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::dtree {
+namespace {
+
+std::vector<std::vector<bool>> all_rows(std::size_t num_features) {
+  std::vector<std::vector<bool>> rows;
+  for (std::uint64_t bits = 0; bits < (1ULL << num_features); ++bits) {
+    std::vector<bool> row;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      row.push_back(((bits >> f) & 1) != 0);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(DecisionTree, ConstantLabels) {
+  const auto rows = all_rows(2);
+  const DecisionTree t0 =
+      DecisionTree::fit(rows, std::vector<bool>(rows.size(), false));
+  const DecisionTree t1 =
+      DecisionTree::fit(rows, std::vector<bool>(rows.size(), true));
+  for (const auto& row : rows) {
+    EXPECT_FALSE(t0.predict(row));
+    EXPECT_TRUE(t1.predict(row));
+  }
+  EXPECT_EQ(t0.num_nodes(), 1u);
+}
+
+TEST(DecisionTree, EmptyDataGivesFalseLeaf) {
+  const DecisionTree t = DecisionTree::fit({}, {});
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_FALSE(t.predict({}));
+}
+
+TEST(DecisionTree, LearnsSingleFeature) {
+  const auto rows = all_rows(3);
+  std::vector<bool> labels;
+  for (const auto& row : rows) labels.push_back(row[1]);
+  const DecisionTree t = DecisionTree::fit(rows, labels);
+  for (const auto& row : rows) EXPECT_EQ(t.predict(row), row[1]);
+  EXPECT_EQ(t.used_features(), (std::vector<std::int32_t>{1}));
+  EXPECT_EQ(t.depth(), 1u);
+}
+
+TEST(DecisionTree, LearnsConjunction) {
+  const auto rows = all_rows(3);
+  std::vector<bool> labels;
+  for (const auto& row : rows) labels.push_back(row[0] && row[2]);
+  const DecisionTree t = DecisionTree::fit(rows, labels);
+  for (const auto& row : rows) EXPECT_EQ(t.predict(row), row[0] && row[2]);
+}
+
+TEST(DecisionTree, LearnsXorWithFullDepth) {
+  // XOR has no single-feature gain, but Gini-gain==0 splits are rejected;
+  // min_gain=0 lets ties through? We keep min_gain tiny so XOR needs the
+  // exhaustive split to be informative at depth 2. Check perfect fit on
+  // the variant x0 xor x1 with a redundant feature.
+  const auto rows = all_rows(3);
+  std::vector<bool> labels;
+  for (const auto& row : rows) labels.push_back(row[0] != row[1]);
+  DtreeOptions options;
+  options.min_gain = -1.0;  // accept zero-gain splits (pure XOR case)
+  const DecisionTree t = DecisionTree::fit(rows, labels, options);
+  for (const auto& row : rows) {
+    EXPECT_EQ(t.predict(row), row[0] != row[1]);
+  }
+}
+
+TEST(DecisionTree, DepthCapProducesMajorityLeaves) {
+  const auto rows = all_rows(4);
+  std::vector<bool> labels;
+  for (const auto& row : rows) {
+    labels.push_back(row[0] || (row[1] && row[2] && row[3]));
+  }
+  DtreeOptions options;
+  options.max_depth = 1;
+  const DecisionTree t = DecisionTree::fit(rows, labels, options);
+  EXPECT_LE(t.depth(), 1u);
+}
+
+TEST(DecisionTree, MinSamplesSplitStopsGrowth) {
+  const auto rows = all_rows(3);
+  std::vector<bool> labels;
+  for (const auto& row : rows) labels.push_back(row[0] && row[1]);
+  DtreeOptions options;
+  options.min_samples_split = 100;  // never split
+  const DecisionTree t = DecisionTree::fit(rows, labels, options);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_FALSE(t.predict(rows[0]));  // majority is false (6 of 8)
+}
+
+TEST(DecisionTree, ToAigMatchesPredict) {
+  util::Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t nf = 4;
+    const auto rows = all_rows(nf);
+    std::vector<bool> labels;
+    for (std::size_t i = 0; i < rows.size(); ++i) labels.push_back(rng.flip());
+    DtreeOptions options;
+    options.min_gain = -1.0;  // full fit, arbitrary functions
+    const DecisionTree t = DecisionTree::fit(rows, labels, options);
+
+    aig::Aig manager;
+    std::vector<aig::Ref> features;
+    for (std::size_t f = 0; f < nf; ++f) {
+      features.push_back(manager.input(static_cast<std::int32_t>(f)));
+    }
+    const aig::Ref formula = t.to_aig(manager, features);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::unordered_map<std::int32_t, bool> in;
+      for (std::size_t f = 0; f < nf; ++f) {
+        in[static_cast<std::int32_t>(f)] = rows[i][f];
+      }
+      EXPECT_EQ(manager.evaluate(formula, in), t.predict(rows[i]))
+          << "round " << round << " row " << i;
+    }
+  }
+}
+
+TEST(DecisionTree, PerfectFitOnNoiseFreeData) {
+  // Invariant from DESIGN.md: with unlimited depth and zero-gain splits
+  // allowed, the tree perfectly fits any noise-free boolean function.
+  util::Rng rng(9);
+  const auto rows = all_rows(5);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<bool> labels;
+    for (std::size_t i = 0; i < rows.size(); ++i) labels.push_back(rng.flip());
+    DtreeOptions options;
+    options.min_gain = -1.0;
+    const DecisionTree t = DecisionTree::fit(rows, labels, options);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(t.predict(rows[i]), labels[i]);
+    }
+  }
+}
+
+TEST(DecisionTree, LeafAndDepthAccounting) {
+  const auto rows = all_rows(2);
+  std::vector<bool> labels{false, true, true, false};  // xor
+  DtreeOptions options;
+  options.min_gain = -1.0;
+  const DecisionTree t = DecisionTree::fit(rows, labels, options);
+  EXPECT_EQ(t.num_leaves(), t.num_nodes() - (t.num_nodes() - 1) / 2);
+  EXPECT_GE(t.depth(), 2u);
+}
+
+}  // namespace
+}  // namespace manthan::dtree

@@ -1,0 +1,193 @@
+// Fu-Malik partial MaxSAT: optimality against brute force, hard-clause
+// handling, and the FindCandi usage pattern.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "maxsat/maxsat.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::maxsat {
+namespace {
+
+using cnf::Clause;
+using cnf::CnfFormula;
+using cnf::neg;
+using cnf::pos;
+using cnf::Var;
+
+TEST(MaxSat, AllSoftSatisfiableCostZero) {
+  MaxSatSolver s;
+  s.add_hard({pos(0), pos(1)});
+  s.add_soft({pos(0)});
+  s.add_soft({pos(1)});
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 0u);
+  EXPECT_TRUE(s.soft_satisfied(0));
+  EXPECT_TRUE(s.soft_satisfied(1));
+}
+
+TEST(MaxSat, ConflictingSoftsCostOne) {
+  MaxSatSolver s;
+  s.add_soft({pos(0)});
+  s.add_soft({neg(0)});
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 1u);
+  EXPECT_NE(s.soft_satisfied(0), s.soft_satisfied(1));
+}
+
+TEST(MaxSat, HardClausesAlwaysRespected) {
+  MaxSatSolver s;
+  s.add_hard({pos(0)});
+  s.add_soft({neg(0)});
+  s.add_soft({pos(1)});
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 1u);
+  EXPECT_TRUE(s.model().value(0));
+  EXPECT_FALSE(s.soft_satisfied(0));
+  EXPECT_TRUE(s.soft_satisfied(1));
+}
+
+TEST(MaxSat, UnsatisfiableHardDetected) {
+  MaxSatSolver s;
+  s.add_hard({pos(0)});
+  s.add_hard({neg(0)});
+  s.add_soft({pos(1)});
+  EXPECT_EQ(s.solve(), MaxSatStatus::kUnsatisfiableHard);
+}
+
+TEST(MaxSat, MajorityVote) {
+  // Three soft units on the same variable: 2 true vs 1 false.
+  MaxSatSolver s;
+  s.add_soft({pos(0)});
+  s.add_soft({pos(0)});
+  s.add_soft({neg(0)});
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 1u);
+  EXPECT_TRUE(s.model().value(0));
+}
+
+TEST(MaxSat, ChainedConflictsCountCorrectly) {
+  // Hard: x0 -> x1 -> x2; soft: x0, ¬x2 — exactly one must fall.
+  MaxSatSolver s;
+  s.add_hard({neg(0), pos(1)});
+  s.add_hard({neg(1), pos(2)});
+  s.add_soft({pos(0)});
+  s.add_soft({neg(2)});
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 1u);
+}
+
+TEST(MaxSat, FindCandiUsagePattern) {
+  // Mimic Manthan3's repair-candidate query: spec hard, outputs soft.
+  // spec: y0 <-> x, y1 <-> ¬x; X fixed to x=1; candidates claim y0=0,y1=0.
+  MaxSatSolver s;
+  const Var x = 0;
+  const Var y0 = 1;
+  const Var y1 = 2;
+  s.add_hard({neg(y0), pos(x)});
+  s.add_hard({pos(y0), neg(x)});
+  s.add_hard({neg(y1), neg(x)});
+  s.add_hard({pos(y1), pos(x)});
+  s.add_hard({pos(x)});     // X <-> σ[X]
+  s.add_soft({neg(y0)});    // candidate output y0' = 0 (wrong)
+  s.add_soft({neg(y1)});    // candidate output y1' = 0 (right)
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 1u);
+  EXPECT_FALSE(s.soft_satisfied(0));  // y0 must be repaired
+  EXPECT_TRUE(s.soft_satisfied(1));   // y1 stays
+}
+
+TEST(MaxSat, EmptySoftClauseAlwaysCostsOne) {
+  MaxSatSolver s;
+  s.add_soft({});
+  s.add_soft({pos(0)});
+  ASSERT_EQ(s.solve(), MaxSatStatus::kOptimal);
+  EXPECT_EQ(s.cost(), 1u);
+  EXPECT_FALSE(s.soft_satisfied(0));
+  EXPECT_TRUE(s.soft_satisfied(1));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: optimal cost matches brute force on random instances.
+// ---------------------------------------------------------------------------
+
+struct MaxSatParams {
+  Var num_vars;
+  std::size_t num_hard;
+  std::size_t num_soft;
+};
+
+class MaxSatRandom : public ::testing::TestWithParam<MaxSatParams> {};
+
+TEST_P(MaxSatRandom, OptimumMatchesBruteForce) {
+  const MaxSatParams p = GetParam();
+  util::Rng rng(0xabcd + p.num_vars * 37 + p.num_soft);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<Clause> hard;
+    std::vector<Clause> soft;
+    for (std::size_t i = 0; i < p.num_hard; ++i) {
+      Clause c;
+      for (int k = 0; k < 2; ++k) {
+        c.push_back(cnf::Lit(
+            static_cast<Var>(rng.next_below(
+                static_cast<std::uint64_t>(p.num_vars))),
+            rng.flip()));
+      }
+      hard.push_back(c);
+    }
+    for (std::size_t i = 0; i < p.num_soft; ++i) {
+      soft.push_back({cnf::Lit(
+          static_cast<Var>(rng.next_below(
+              static_cast<std::uint64_t>(p.num_vars))),
+          rng.flip())});
+    }
+
+    // Brute force optimal cost.
+    std::size_t best = soft.size() + 1;
+    bool hard_sat = false;
+    for (std::uint64_t bits = 0; bits < (1ULL << p.num_vars); ++bits) {
+      cnf::Assignment a(static_cast<std::size_t>(p.num_vars));
+      for (Var v = 0; v < p.num_vars; ++v) a.set(v, ((bits >> v) & 1) != 0);
+      const bool ok = std::all_of(hard.begin(), hard.end(), [&](const Clause& c) {
+        return std::any_of(c.begin(), c.end(),
+                           [&](cnf::Lit l) { return a.value(l); });
+      });
+      if (!ok) continue;
+      hard_sat = true;
+      std::size_t cost = 0;
+      for (const Clause& c : soft) {
+        if (!std::any_of(c.begin(), c.end(),
+                         [&](cnf::Lit l) { return a.value(l); })) {
+          ++cost;
+        }
+      }
+      best = std::min(best, cost);
+    }
+
+    MaxSatSolver s;
+    for (const Clause& c : hard) s.add_hard(c);
+    for (const Clause& c : soft) s.add_soft(c);
+    const MaxSatStatus status = s.solve();
+    if (!hard_sat) {
+      EXPECT_EQ(status, MaxSatStatus::kUnsatisfiableHard);
+      continue;
+    }
+    ASSERT_EQ(status, MaxSatStatus::kOptimal);
+    EXPECT_EQ(s.cost(), best);
+    // Reported satisfaction flags must be consistent with the cost.
+    std::size_t reported = 0;
+    for (std::size_t i = 0; i < soft.size(); ++i) {
+      if (!s.soft_satisfied(i)) ++reported;
+    }
+    EXPECT_EQ(reported, s.cost());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMaxSat, MaxSatRandom,
+    ::testing::Values(MaxSatParams{4, 4, 4}, MaxSatParams{5, 8, 6},
+                      MaxSatParams{6, 10, 8}, MaxSatParams{8, 14, 10}));
+
+}  // namespace
+}  // namespace manthan::maxsat

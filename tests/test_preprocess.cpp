@@ -1,0 +1,192 @@
+// HqspreLite preprocessor: each transformation, False detection,
+// reconstruction of full Henkin vectors, and equisatisfiability sweeps.
+#include <gtest/gtest.h>
+
+#include "baselines/hqs_lite.hpp"
+#include "dqbf/certificate.hpp"
+#include "preprocess/hqspre_lite.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::preprocess {
+namespace {
+
+using cnf::neg;
+using cnf::pos;
+using dqbf::Var;
+
+TEST(HqspreLite, RemovesTautologies) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.matrix().add_clause({pos(0), neg(0), pos(1)});
+  f.matrix().add_clause({pos(1), pos(0)});
+  const PreprocessResult r = HqspreLite().run(f);
+  EXPECT_FALSE(r.proven_false);
+  EXPECT_EQ(r.stats.tautologies_removed, 1u);
+}
+
+TEST(HqspreLite, UniversalReductionDropsIndependentLiterals) {
+  // Clause (x1 ∨ y) where H_y = {x0}: y cannot depend on x1, so the
+  // clause must hold with x1 = 0 — reduce to (y), then propagate.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0});
+  f.matrix().add_clause({pos(1), pos(2)});
+  const PreprocessResult r = HqspreLite().run(f);
+  EXPECT_FALSE(r.proven_false);
+  EXPECT_GE(r.stats.universal_literals_reduced, 1u);
+  EXPECT_GE(r.stats.units_propagated, 1u);
+  // y forced to 1; no existentials remain.
+  ASSERT_EQ(r.eliminated.size(), 1u);
+  EXPECT_EQ(r.eliminated[0].first, Var{2});
+  EXPECT_TRUE(r.eliminated[0].second);
+}
+
+TEST(HqspreLite, PureUniversalClauseIsFalse) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0});
+  f.matrix().add_clause({pos(0), pos(1)});  // falsified at x0=x1=0
+  const PreprocessResult r = HqspreLite().run(f);
+  EXPECT_TRUE(r.proven_false);
+}
+
+TEST(HqspreLite, UniversalUnitIsFalse) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.matrix().add_clause({pos(0)});
+  f.matrix().add_clause({pos(1), neg(0)});
+  EXPECT_TRUE(HqspreLite().run(f).proven_false);
+}
+
+TEST(HqspreLite, UnitPropagationEliminatesExistential) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.add_existential(2, {0});
+  f.matrix().add_clause({pos(1)});
+  f.matrix().add_clause({neg(1), pos(2), pos(0)});
+  const PreprocessResult r = HqspreLite().run(f);
+  EXPECT_FALSE(r.proven_false);
+  // y1 = 1 eliminated; the second clause loses ¬y1 and keeps (y2 ∨ x0)...
+  // which pure-literal elimination then resolves for y2.
+  bool y1_eliminated = false;
+  for (const auto& [v, value] : r.eliminated) {
+    if (v == 1) {
+      y1_eliminated = true;
+      EXPECT_TRUE(value);
+    }
+  }
+  EXPECT_TRUE(y1_eliminated);
+}
+
+TEST(HqspreLite, ConflictingUnitsAreFalse) {
+  dqbf::DqbfFormula f;
+  f.add_existential(0, {});
+  f.matrix().add_clause({pos(0)});
+  f.matrix().add_clause({neg(0)});
+  EXPECT_TRUE(HqspreLite().run(f).proven_false);
+}
+
+TEST(HqspreLite, PureLiteralElimination) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  // y appears only positively.
+  f.matrix().add_clause({pos(1), pos(0)});
+  f.matrix().add_clause({pos(1), neg(0)});
+  const PreprocessResult r = HqspreLite().run(f);
+  EXPECT_FALSE(r.proven_false);
+  EXPECT_GE(r.stats.pure_literals_eliminated +
+                r.stats.units_propagated,
+            1u);
+  EXPECT_EQ(r.simplified.matrix().num_clauses(), 0u);
+}
+
+TEST(HqspreLite, SubsumptionRemovesSupersets) {
+  // Both polarities of y2/y3 occur so pure-literal elimination cannot
+  // fire first; the superset clause must fall to subsumption.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0, 1});
+  f.add_existential(3, {0, 1});
+  f.matrix().add_clause({pos(2), neg(3)});
+  f.matrix().add_clause({pos(2), neg(3), pos(0)});
+  f.matrix().add_clause({neg(2), pos(3)});
+  const PreprocessResult r = HqspreLite().run(f);
+  EXPECT_FALSE(r.proven_false);
+  EXPECT_GE(r.stats.clauses_subsumed, 1u);
+  EXPECT_EQ(r.simplified.matrix().num_clauses(), 2u);
+}
+
+TEST(HqspreLite, ReconstructionYieldsValidVector) {
+  // Preprocess, solve the residual with HqsLite, reconstruct, certify
+  // against the ORIGINAL formula.
+  const dqbf::DqbfFormula original = workloads::gen_pec({6, 2, 2, 2, 10, 31});
+  const PreprocessResult pre = HqspreLite().run(original);
+  ASSERT_FALSE(pre.proven_false);
+
+  aig::Aig manager;
+  baselines::HqsLite engine;
+  const core::SynthesisResult solved =
+      engine.synthesize(pre.simplified, manager);
+  ASSERT_EQ(solved.status, core::SynthesisStatus::kRealizable);
+
+  const std::vector<aig::Ref> full = HqspreLite::reconstruct(
+      original, pre, solved.vector.functions);
+  dqbf::HenkinVector vector{full};
+  EXPECT_EQ(dqbf::check_certificate(original, manager, vector).status,
+            dqbf::CertificateStatus::kValid);
+}
+
+TEST(HqspreLite, PreservesTruthOnGeneratedFamilies) {
+  // Equisatisfiability sweep: preprocess + solve == solve directly.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const dqbf::DqbfFormula original =
+        workloads::gen_planted({6, 3, 3, 4, 18, seed});
+    const PreprocessResult pre = HqspreLite().run(original);
+    ASSERT_FALSE(pre.proven_false) << "planted instances are True";
+
+    aig::Aig manager;
+    baselines::HqsLite engine;
+    const core::SynthesisResult solved =
+        engine.synthesize(pre.simplified, manager);
+    ASSERT_EQ(solved.status, core::SynthesisStatus::kRealizable);
+    const std::vector<aig::Ref> full = HqspreLite::reconstruct(
+        original, pre, solved.vector.functions);
+    dqbf::HenkinVector vector{full};
+    EXPECT_EQ(dqbf::check_certificate(original, manager, vector).status,
+              dqbf::CertificateStatus::kValid);
+  }
+}
+
+TEST(HqspreLite, FalseFamilyDetectedOrPreserved) {
+  const dqbf::DqbfFormula original = workloads::gen_unrealizable(
+      {2, true, 9});
+  const PreprocessResult pre = HqspreLite().run(original);
+  if (!pre.proven_false) {
+    aig::Aig manager;
+    baselines::HqsLite engine;
+    EXPECT_EQ(engine.synthesize(pre.simplified, manager).status,
+              core::SynthesisStatus::kUnrealizable);
+  }
+}
+
+TEST(HqspreLite, IdempotentOnFixpoint) {
+  const dqbf::DqbfFormula original =
+      workloads::gen_planted({6, 3, 3, 4, 18, 77});
+  const PreprocessResult once = HqspreLite().run(original);
+  ASSERT_FALSE(once.proven_false);
+  const PreprocessResult twice = HqspreLite().run(once.simplified);
+  EXPECT_FALSE(twice.proven_false);
+  EXPECT_EQ(twice.simplified.matrix().num_clauses(),
+            once.simplified.matrix().num_clauses());
+  EXPECT_TRUE(twice.eliminated.empty());
+}
+
+}  // namespace
+}  // namespace manthan::preprocess

@@ -1,0 +1,93 @@
+// Sanity checks for the xoshiro256** generator and utility types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) ++differences;
+  }
+  EXPECT_GT(differences, 5);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FlipRoughlyFair) {
+  Rng rng(17);
+  int heads = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.flip()) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.05);
+}
+
+TEST(Rng, BiasedFlipTracksProbability) {
+  Rng rng(19);
+  int heads = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.flip(0.9)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.9, 0.05);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  Deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  Deadline d(1e-9);
+  // Burn a little time.
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace manthan::util

@@ -1,0 +1,127 @@
+// Constrained sampler: all samples are models, diversity, adaptive bias,
+// and UNSAT handling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cnf/cnf.hpp"
+#include "sampler/sampler.hpp"
+
+namespace manthan::sampler {
+namespace {
+
+using cnf::neg;
+using cnf::pos;
+
+TEST(Sampler, AllSamplesSatisfyFormula) {
+  CnfFormula f(6);
+  f.add_clause({pos(0), pos(1)});
+  f.add_clause({neg(2), pos(3)});
+  f.add_clause({pos(4), neg(5), pos(0)});
+  SamplerOptions options;
+  options.num_samples = 100;
+  Sampler sampler(options);
+  const std::vector<Assignment> samples = sampler.sample(f, {});
+  ASSERT_FALSE(samples.empty());
+  for (const Assignment& a : samples) EXPECT_TRUE(f.satisfied_by(a));
+}
+
+TEST(Sampler, UnsatFormulaYieldsNoSamples) {
+  CnfFormula f(1);
+  f.add_clause({pos(0)});
+  f.add_clause({neg(0)});
+  Sampler sampler;
+  EXPECT_TRUE(sampler.sample(f, {}).empty());
+}
+
+TEST(Sampler, ProducesDiverseModels) {
+  // 8 unconstrained variables: expect to see many distinct assignments.
+  CnfFormula f(8);
+  f.add_clause({pos(0), neg(0)});
+  SamplerOptions options;
+  options.num_samples = 64;
+  options.adaptive = false;
+  Sampler sampler(options);
+  const std::vector<Assignment> samples = sampler.sample(f, {});
+  std::set<std::vector<bool>> distinct;
+  for (const Assignment& a : samples) distinct.insert(a.bits());
+  EXPECT_GT(distinct.size(), 20u);
+}
+
+TEST(Sampler, CoversBothPolaritiesOfFreeVariable) {
+  CnfFormula f(4);
+  f.add_clause({pos(0), pos(1)});
+  SamplerOptions options;
+  options.num_samples = 60;
+  options.adaptive = false;
+  Sampler sampler(options);
+  const std::vector<Assignment> samples = sampler.sample(f, {});
+  int true_count = 0;
+  for (const Assignment& a : samples) {
+    if (a.value(cnf::Var{3})) ++true_count;
+  }
+  EXPECT_GT(true_count, 0);
+  EXPECT_LT(true_count, static_cast<int>(samples.size()));
+}
+
+TEST(Sampler, AdaptiveBiasFollowsSkew) {
+  // y (var 2) is forced equal to x0 | x1 — models mostly have y = 1; the
+  // adaptive stage should not *reduce* coverage of the skewed value.
+  CnfFormula f(3);
+  f.add_clause({neg(2), pos(0), pos(1)});
+  f.add_clause({pos(2), neg(0)});
+  f.add_clause({pos(2), neg(1)});
+  SamplerOptions options;
+  options.num_samples = 200;
+  options.adaptive = true;
+  options.probe_samples = 40;
+  Sampler sampler(options);
+  const std::vector<Assignment> samples = sampler.sample(f, {2});
+  ASSERT_GT(samples.size(), 50u);
+  std::size_t y_true = 0;
+  for (const Assignment& a : samples) {
+    EXPECT_TRUE(f.satisfied_by(a));
+    if (a.value(cnf::Var{2})) ++y_true;
+  }
+  // 3 of 4 (x0,x1) combinations force y=1.
+  EXPECT_GT(y_true * 2, samples.size());
+}
+
+TEST(Sampler, RespectsSampleBudget) {
+  CnfFormula f(5);
+  f.add_clause({pos(0), pos(1)});
+  SamplerOptions options;
+  options.num_samples = 17;
+  Sampler sampler(options);
+  EXPECT_LE(sampler.sample(f, {}).size(), 17u);
+}
+
+TEST(Sampler, DeterministicForSeed) {
+  CnfFormula f(6);
+  f.add_clause({pos(0), pos(1), pos(2)});
+  SamplerOptions options;
+  options.num_samples = 30;
+  options.seed = 99;
+  Sampler a(options);
+  Sampler b(options);
+  const auto sa = a.sample(f, {0, 1});
+  const auto sb = b.sample(f, {0, 1});
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].bits(), sb[i].bits());
+  }
+}
+
+TEST(Sampler, DeadlineReturnsPartialData) {
+  CnfFormula f(10);
+  f.add_clause({pos(0), pos(1)});
+  SamplerOptions options;
+  options.num_samples = 100000;  // far more than the deadline allows
+  Sampler sampler(options);
+  const util::Deadline deadline(0.05);
+  const auto samples = sampler.sample(f, {}, &deadline);
+  EXPECT_LT(samples.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace manthan::sampler

@@ -1,0 +1,278 @@
+// CDCL solver: correctness against a brute-force reference, assumptions,
+// UNSAT cores, incremental use, and randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cnf/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::sat {
+namespace {
+
+using cnf::Clause;
+using cnf::CnfFormula;
+using cnf::Lit;
+using cnf::neg;
+using cnf::pos;
+using cnf::Var;
+
+/// Brute-force satisfiability over up to 24 variables.
+bool brute_force_sat(const CnfFormula& f) {
+  const Var n = f.num_vars();
+  for (std::uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+    cnf::Assignment a(static_cast<std::size_t>(n));
+    for (Var v = 0; v < n; ++v) a.set(v, ((bits >> v) & 1) != 0);
+    if (f.satisfied_by(a)) return true;
+  }
+  return false;
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Solver, SingleUnit) {
+  Solver s;
+  s.add_clause({pos(0)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model().value(0));
+}
+
+TEST(Solver, ConflictingUnitsAreUnsat) {
+  Solver s;
+  s.add_clause({pos(0)});
+  EXPECT_FALSE(s.add_clause({neg(0)}));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, PropagationChain) {
+  // 0 -> 1 -> 2 -> 3, with unit 0.
+  Solver s;
+  s.add_clause({pos(0)});
+  s.add_clause({neg(0), pos(1)});
+  s.add_clause({neg(1), pos(2)});
+  s.add_clause({neg(2), pos(3)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (Var v = 0; v < 4; ++v) EXPECT_TRUE(s.model().value(v));
+}
+
+TEST(Solver, PigeonholeTwoInOneIsUnsat) {
+  // Two pigeons, one hole.
+  Solver s;
+  s.add_clause({pos(0)});  // pigeon 1 in hole
+  s.add_clause({pos(1)});  // pigeon 2 in hole
+  s.add_clause({neg(0), neg(1)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, XorChainSat) {
+  // (a xor b), (b xor c) as CNF; satisfiable.
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  s.add_clause({neg(0), neg(1)});
+  s.add_clause({pos(1), pos(2)});
+  s.add_clause({neg(1), neg(2)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_NE(s.model().value(0), s.model().value(1));
+  EXPECT_NE(s.model().value(1), s.model().value(2));
+}
+
+TEST(Solver, ModelSatisfiesFormula) {
+  CnfFormula f;
+  f.add_clause({pos(0), neg(1), pos(2)});
+  f.add_clause({neg(0), pos(1)});
+  f.add_clause({neg(2), neg(0)});
+  Solver s;
+  s.add_formula(f);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(f.satisfied_by(s.model()));
+}
+
+TEST(Solver, AssumptionsRestrictModels) {
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  ASSERT_EQ(s.solve({neg(0)}), Result::kSat);
+  EXPECT_FALSE(s.model().value(0));
+  EXPECT_TRUE(s.model().value(1));
+}
+
+TEST(Solver, ContradictoryAssumptionsGiveCore) {
+  Solver s;
+  s.ensure_vars(2);
+  ASSERT_EQ(s.solve({pos(0), neg(0)}), Result::kUnsat);
+  const std::vector<Lit>& core = s.core();
+  EXPECT_EQ(core.size(), 2u);
+  EXPECT_NE(std::find(core.begin(), core.end(), pos(0)), core.end());
+  EXPECT_NE(std::find(core.begin(), core.end(), neg(0)), core.end());
+}
+
+TEST(Solver, CoreIsSubsetOfAssumptions) {
+  Solver s;
+  s.add_clause({neg(0), neg(1)});
+  s.add_clause({neg(2), neg(3)});
+  const std::vector<Lit> assumptions{pos(0), pos(1), pos(4)};
+  ASSERT_EQ(s.solve(assumptions), Result::kUnsat);
+  for (const Lit l : s.core()) {
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+              assumptions.end());
+  }
+  // pos(4) is irrelevant and must not appear.
+  EXPECT_EQ(std::find(s.core().begin(), s.core().end(), pos(4)),
+            s.core().end());
+}
+
+TEST(Solver, CoreIdentifiesRelevantAssumptions) {
+  // unit clauses force a conflict only via assumptions 0 and 1.
+  Solver s;
+  s.add_clause({neg(0), pos(2)});
+  s.add_clause({neg(1), neg(2)});
+  ASSERT_EQ(s.solve({pos(0), pos(1), pos(3), pos(4)}), Result::kUnsat);
+  std::vector<Lit> core = s.core();
+  std::sort(core.begin(), core.end());
+  EXPECT_EQ(core, (std::vector<Lit>{pos(0), pos(1)}));
+}
+
+TEST(Solver, UnsatWithoutAssumptionsHasEmptyCore) {
+  Solver s;
+  s.add_clause({pos(0)});
+  s.add_clause({neg(0)});
+  ASSERT_EQ(s.solve({pos(1)}), Result::kUnsat);
+  EXPECT_TRUE(s.core().empty());
+}
+
+TEST(Solver, IncrementalSolvingAcrossClauses) {
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  s.add_clause({neg(0)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model().value(1));
+  s.add_clause({neg(1)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, RepeatedSolveCallsAreStable) {
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(s.solve(), Result::kSat);
+    ASSERT_EQ(s.solve({neg(0), neg(1)}), Result::kUnsat);
+  }
+}
+
+TEST(Solver, TautologicalClauseIgnored) {
+  Solver s;
+  s.add_clause({pos(0), neg(0)});
+  s.add_clause({pos(1)});
+  ASSERT_EQ(s.solve({neg(0)}), Result::kSat);
+  EXPECT_FALSE(s.model().value(0));
+}
+
+TEST(Solver, DuplicateLiteralsDeduplicated) {
+  Solver s;
+  s.add_clause({pos(0), pos(0), pos(0)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model().value(0));
+}
+
+TEST(Solver, FixedValueAfterRootPropagation) {
+  Solver s;
+  s.add_clause({pos(0)});
+  s.add_clause({neg(0), pos(1)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.fixed_value(pos(0)), cnf::LBool::kTrue);
+  EXPECT_EQ(s.fixed_value(neg(1)), cnf::LBool::kFalse);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: agreement with brute force on random small formulas.
+// ---------------------------------------------------------------------------
+
+struct RandomCnfParams {
+  Var num_vars;
+  std::size_t num_clauses;
+  std::size_t width;
+};
+
+class SolverRandomAgreement
+    : public ::testing::TestWithParam<RandomCnfParams> {};
+
+CnfFormula random_cnf(const RandomCnfParams& p, util::Rng& rng) {
+  CnfFormula f(p.num_vars);
+  for (std::size_t c = 0; c < p.num_clauses; ++c) {
+    Clause clause;
+    for (std::size_t k = 0; k < p.width; ++k) {
+      const Var v = static_cast<Var>(rng.next_below(
+          static_cast<std::uint64_t>(p.num_vars)));
+      clause.push_back(cnf::Lit(v, rng.flip()));
+    }
+    f.add_clause(clause);
+  }
+  return f;
+}
+
+TEST_P(SolverRandomAgreement, MatchesBruteForce) {
+  const RandomCnfParams p = GetParam();
+  util::Rng rng(0xc0ffee + p.num_vars * 131 + p.num_clauses);
+  for (int round = 0; round < 40; ++round) {
+    const CnfFormula f = random_cnf(p, rng);
+    Solver s;
+    const bool added = s.add_formula(f);
+    const bool expected = brute_force_sat(f);
+    if (!added) {
+      EXPECT_FALSE(expected);
+      continue;
+    }
+    const Result r = s.solve();
+    EXPECT_EQ(r == Result::kSat, expected);
+    if (r == Result::kSat) EXPECT_TRUE(f.satisfied_by(s.model()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCnfs, SolverRandomAgreement,
+    ::testing::Values(RandomCnfParams{4, 8, 2}, RandomCnfParams{5, 15, 2},
+                      RandomCnfParams{6, 20, 3}, RandomCnfParams{8, 34, 3},
+                      RandomCnfParams{10, 42, 3},
+                      RandomCnfParams{12, 50, 4}));
+
+// Core validity property: the core, taken as units, must be UNSAT.
+TEST(SolverProperty, CoresAreGenuinelyUnsat) {
+  util::Rng rng(0xdead);
+  int unsat_seen = 0;
+  for (int round = 0; round < 60; ++round) {
+    const CnfFormula f = random_cnf({8, 30, 3}, rng);
+    Solver s;
+    if (!s.add_formula(f)) continue;
+    // Random assumptions over a few variables.
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < 4; ++v) {
+      assumptions.push_back(cnf::Lit(v, rng.flip()));
+    }
+    if (s.solve(assumptions) != Result::kUnsat) continue;
+    ++unsat_seen;
+    // Re-solve a fresh solver with the core as unit clauses: must be UNSAT.
+    Solver fresh;
+    fresh.add_formula(f);
+    bool consistent = true;
+    for (const Lit l : s.core()) consistent &= fresh.add_clause({l});
+    EXPECT_TRUE(!consistent || fresh.solve() == Result::kUnsat);
+  }
+  EXPECT_GT(unsat_seen, 0);
+}
+
+TEST(SolverStats, CountsActivity) {
+  Solver s;
+  // A formula that forces some search.
+  util::Rng rng(99);
+  const CnfFormula f = random_cnf({12, 50, 3}, rng);
+  s.add_formula(f);
+  s.solve();
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace manthan::sat

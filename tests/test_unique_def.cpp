@@ -1,0 +1,132 @@
+// Unique-definition detection (Padoa) and BDD-based extraction.
+#include <gtest/gtest.h>
+
+#include "aig/aig_sim.hpp"
+#include "core/unique_def.hpp"
+
+namespace manthan::core {
+namespace {
+
+using cnf::neg;
+using cnf::pos;
+using cnf::Var;
+
+TEST(UniqueDef, DetectsDefinedVariable) {
+  // y <-> (x0 & x1): uniquely defined by {x0, x1}.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0, 1});
+  f.matrix().add_clause({neg(2), pos(0)});
+  f.matrix().add_clause({neg(2), pos(1)});
+  f.matrix().add_clause({pos(2), neg(0), neg(1)});
+  UniqueDefExtractor u(f);
+  EXPECT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kYes);
+}
+
+TEST(UniqueDef, DetectsUndefinedVariable) {
+  // (x ∨ y): y unconstrained when x = 1.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.matrix().add_clause({pos(0), pos(1)});
+  UniqueDefExtractor u(f);
+  EXPECT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kNo);
+}
+
+TEST(UniqueDef, DefinedOnlyWithFullDependencies) {
+  // y <-> x0 xor x1, but H = {x0}: not defined by H alone.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0});
+  f.matrix().add_clause({neg(2), neg(0), neg(1)});
+  f.matrix().add_clause({neg(2), pos(0), pos(1)});
+  f.matrix().add_clause({pos(2), neg(0), pos(1)});
+  f.matrix().add_clause({pos(2), pos(0), neg(1)});
+  UniqueDefExtractor u(f);
+  EXPECT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kNo);
+}
+
+TEST(UniqueDef, ExtractedDefinitionIsCorrect) {
+  // y <-> (x0 | x1).
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0, 1});
+  f.matrix().add_clause({neg(2), pos(0), pos(1)});
+  f.matrix().add_clause({pos(2), neg(0)});
+  f.matrix().add_clause({pos(2), neg(1)});
+  UniqueDefExtractor u(f);
+  ASSERT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kYes);
+  aig::Aig manager;
+  const auto def = u.extract(0, manager);
+  ASSERT_TRUE(def.has_value());
+  const aig::Ref expected =
+      manager.or_gate(manager.input(0), manager.input(1));
+  EXPECT_TRUE(aig::semantically_equal(manager, *def, expected));
+}
+
+TEST(UniqueDef, DefinitionSupportWithinDeps) {
+  // y defined through a chain: y <-> x0; another universal x1 is noise.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0});
+  f.matrix().add_clause({neg(2), pos(0)});
+  f.matrix().add_clause({pos(2), neg(0)});
+  f.matrix().add_clause({pos(1), neg(1)});  // tautology touching x1
+  UniqueDefExtractor u(f);
+  ASSERT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kYes);
+  aig::Aig manager;
+  const auto def = u.extract(0, manager);
+  ASSERT_TRUE(def.has_value());
+  for (const std::int32_t id : manager.support(*def)) {
+    EXPECT_EQ(id, 0);
+  }
+}
+
+TEST(UniqueDef, DefinedThroughOtherExistential) {
+  // y0 <-> x, y1 <-> x: both defined w.r.t. their deps {x}.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.add_existential(2, {0});
+  f.matrix().add_clause({neg(1), pos(0)});
+  f.matrix().add_clause({pos(1), neg(0)});
+  f.matrix().add_clause({neg(2), pos(1)});
+  f.matrix().add_clause({pos(2), neg(1)});
+  UniqueDefExtractor u(f);
+  EXPECT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kYes);
+  EXPECT_EQ(u.is_defined(1), UniqueDefExtractor::Defined::kYes);
+}
+
+TEST(UniqueDef, BddBudgetFallsBackGracefully) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.matrix().add_clause({neg(1), pos(0)});
+  f.matrix().add_clause({pos(1), neg(0)});
+  UniqueDefOptions options;
+  options.max_bdd_nodes = 0;  // force extraction failure
+  UniqueDefExtractor u(f, options);
+  ASSERT_EQ(u.is_defined(0), UniqueDefExtractor::Defined::kYes);
+  aig::Aig manager;
+  EXPECT_FALSE(u.extract(0, manager).has_value());
+}
+
+TEST(UniqueDef, MatrixVarCapDisablesExtraction) {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_existential(1, {0});
+  f.matrix().add_clause({neg(1), pos(0)});
+  f.matrix().add_clause({pos(1), neg(0)});
+  UniqueDefOptions options;
+  options.max_matrix_vars = 1;
+  UniqueDefExtractor u(f, options);
+  aig::Aig manager;
+  EXPECT_FALSE(u.extract(0, manager).has_value());
+}
+
+}  // namespace
+}  // namespace manthan::core

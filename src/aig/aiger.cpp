@@ -27,6 +27,18 @@ AigerModule read_aiger_ascii(std::istream& in, Aig& manager) {
   if (num_latches != 0) {
     throw std::runtime_error("aiger: latches not supported");
   }
+  if (num_inputs + num_ands > max_index) {
+    throw std::runtime_error("aiger: header maximum index too small");
+  }
+
+  // Every literal must stay within the header's declared maximum index.
+  const auto check_range = [&](std::size_t lit) {
+    if (lit > 2 * max_index + 1) {
+      throw std::runtime_error("aiger: literal " + std::to_string(lit) +
+                               " out of range for maximum index " +
+                               std::to_string(max_index));
+    }
+  };
 
   // AIGER literal -> our edge. Literal 0 = false, 1 = true.
   std::map<std::size_t, Ref> edge_of;  // keyed by even (variable) literal
@@ -43,9 +55,10 @@ AigerModule read_aiger_ascii(std::istream& in, Aig& manager) {
 
   for (std::size_t i = 0; i < num_inputs; ++i) {
     std::size_t lit = 0;
-    if (!(in >> lit) || (lit & 1) != 0) {
+    if (!(in >> lit) || (lit & 1) != 0 || lit == 0) {
       throw std::runtime_error("aiger: bad input literal");
     }
+    check_range(lit);
     edge_of[lit] = manager.input(static_cast<std::int32_t>(i));
   }
   std::vector<std::size_t> output_lits(num_outputs);
@@ -53,6 +66,7 @@ AigerModule read_aiger_ascii(std::istream& in, Aig& manager) {
     if (!(in >> output_lits[i])) {
       throw std::runtime_error("aiger: bad output literal");
     }
+    check_range(output_lits[i]);
   }
   for (std::size_t i = 0; i < num_ands; ++i) {
     std::size_t lhs = 0;
@@ -61,6 +75,9 @@ AigerModule read_aiger_ascii(std::istream& in, Aig& manager) {
     if (!(in >> lhs >> rhs0 >> rhs1) || (lhs & 1) != 0) {
       throw std::runtime_error("aiger: bad AND line");
     }
+    check_range(lhs);
+    check_range(rhs0);
+    check_range(rhs1);
     // AIGER requires rhs < lhs, so fanins are already defined.
     edge_of[lhs] = manager.and_gate(lit_to_ref(rhs0), lit_to_ref(rhs1));
   }

@@ -10,6 +10,7 @@ namespace manthan::cnf {
 CnfFormula parse_dimacs(std::istream& in) {
   CnfFormula formula;
   bool saw_header = false;
+  Var declared_vars = 0;
   std::string token;
   Clause current;
   while (in >> token) {
@@ -22,12 +23,17 @@ CnfFormula parse_dimacs(std::istream& in) {
       std::string fmt;
       Var num_vars = 0;
       std::size_t num_clauses = 0;
-      if (!(in >> fmt >> num_vars >> num_clauses) || fmt != "cnf") {
+      if (!(in >> fmt >> num_vars >> num_clauses) || fmt != "cnf" ||
+          num_vars < 0) {
         throw std::runtime_error("dimacs: malformed problem line");
       }
       formula.ensure_vars(num_vars);
+      declared_vars = num_vars;
       saw_header = true;
       continue;
+    }
+    if (!saw_header) {
+      throw std::runtime_error("dimacs: clause before problem line");
     }
     std::int32_t value = 0;
     try {
@@ -39,6 +45,10 @@ CnfFormula parse_dimacs(std::istream& in) {
       formula.add_clause(current);
       current.clear();
     } else {
+      if (value > declared_vars || value < -declared_vars) {
+        throw std::runtime_error("dimacs: literal " + token +
+                                 " out of declared variable range");
+      }
       current.push_back(Lit::from_dimacs(value));
     }
   }

@@ -11,8 +11,23 @@ DqbfFormula parse_dqdimacs(std::istream& in) {
   DqbfFormula formula;
   std::vector<Var> universals_so_far;
   bool saw_header = false;
+  Var declared_vars = 0;
   std::string line;
   cnf::Clause current;
+  // 1-based DIMACS literal within the declared range of the problem line.
+  const auto check_lit = [&](std::int32_t v) {
+    if (v > declared_vars || v < -declared_vars) {
+      throw std::runtime_error("dqdimacs: variable " + std::to_string(v) +
+                               " out of declared range");
+    }
+  };
+  // Quantifier declarations name plain (positive) variables.
+  const auto check_quant_var = [&](std::int32_t v) {
+    if (v < 1 || v > declared_vars) {
+      throw std::runtime_error("dqdimacs: quantified variable " +
+                               std::to_string(v) + " out of declared range");
+    }
+  };
   while (std::getline(in, line)) {
     std::istringstream ls(line);
     std::string head;
@@ -22,16 +37,23 @@ DqbfFormula parse_dqdimacs(std::istream& in) {
       std::string fmt;
       Var num_vars = 0;
       std::size_t num_clauses = 0;
-      if (!(ls >> fmt >> num_vars >> num_clauses) || fmt != "cnf") {
+      if (!(ls >> fmt >> num_vars >> num_clauses) || fmt != "cnf" ||
+          num_vars < 0) {
         throw std::runtime_error("dqdimacs: malformed problem line");
       }
       formula.matrix().ensure_vars(num_vars);
+      declared_vars = num_vars;
       saw_header = true;
       continue;
+    }
+    if (!saw_header) {
+      throw std::runtime_error("dqdimacs: '" + head +
+                               "' line before problem line");
     }
     if (head == "a") {
       std::int32_t v = 0;
       while (ls >> v && v != 0) {
+        check_quant_var(v);
         formula.add_universal(v - 1);
         universals_so_far.push_back(v - 1);
       }
@@ -41,6 +63,7 @@ DqbfFormula parse_dqdimacs(std::istream& in) {
       // Plain existential: depends on every universal declared so far.
       std::int32_t v = 0;
       while (ls >> v && v != 0) {
+        check_quant_var(v);
         formula.add_existential(v - 1, universals_so_far);
       }
       continue;
@@ -51,20 +74,30 @@ DqbfFormula parse_dqdimacs(std::istream& in) {
       if (!(ls >> y) || y == 0) {
         throw std::runtime_error("dqdimacs: malformed d-line");
       }
+      check_quant_var(y);
       std::vector<Var> deps;
       std::int32_t x = 0;
-      while (ls >> x && x != 0) deps.push_back(x - 1);
+      while (ls >> x && x != 0) {
+        check_quant_var(x);
+        deps.push_back(x - 1);
+      }
       formula.add_existential(y - 1, std::move(deps));
       continue;
     }
     // Otherwise the line starts a clause (head is the first literal).
-    std::int32_t value = std::stoi(head);
+    std::int32_t value = 0;
+    try {
+      value = std::stoi(head);
+    } catch (const std::exception&) {
+      throw std::runtime_error("dqdimacs: unexpected token '" + head + "'");
+    }
     while (true) {
       if (value == 0) {
         formula.matrix().add_clause(current);
         current.clear();
         break;
       }
+      check_lit(value);
       current.push_back(cnf::Lit::from_dimacs(value));
       if (!(ls >> value)) break;  // clause may continue on the next line
     }

@@ -54,6 +54,44 @@ TEST(Aiger, RejectsMalformedInput) {
                std::runtime_error);  // fanin before definition
 }
 
+TEST(Aiger, RejectsTruncatedFile) {
+  Aig m;
+  // Header only, inputs missing.
+  EXPECT_THROW(read_aiger_ascii_string("aag 1 1 0 1 0\n", m),
+               std::runtime_error);
+  // Outputs missing after the inputs.
+  EXPECT_THROW(read_aiger_ascii_string("aag 1 1 0 1 0\n2\n", m),
+               std::runtime_error);
+  // AND line cut off mid-triple.
+  EXPECT_THROW(read_aiger_ascii_string("aag 3 2 0 1 1\n2\n4\n6\n6 2\n", m),
+               std::runtime_error);
+}
+
+TEST(Aiger, RejectsBadHeader) {
+  Aig m;
+  EXPECT_THROW(read_aiger_ascii_string("", m), std::runtime_error);
+  EXPECT_THROW(read_aiger_ascii_string("aag 1 1 0\n", m),
+               std::runtime_error);  // too few header fields
+  EXPECT_THROW(read_aiger_ascii_string("aag x 1 0 1 0\n2\n2\n", m),
+               std::runtime_error);  // non-numeric field
+  // Maximum index smaller than inputs + ands.
+  EXPECT_THROW(read_aiger_ascii_string("aag 1 1 0 1 1\n2\n4\n4 2 2\n", m),
+               std::runtime_error);
+}
+
+TEST(Aiger, RejectsOutOfRangeLiteral) {
+  Aig m;
+  // Input literal 6 exceeds 2*max_index+1 with max_index 2.
+  EXPECT_THROW(read_aiger_ascii_string("aag 2 2 0 1 0\n2\n6\n2\n", m),
+               std::runtime_error);
+  // Output literal out of range.
+  EXPECT_THROW(read_aiger_ascii_string("aag 1 1 0 1 0\n2\n9\n", m),
+               std::runtime_error);
+  // AND fanin out of range.
+  EXPECT_THROW(read_aiger_ascii_string("aag 2 1 0 1 1\n2\n4\n4 2 99\n", m),
+               std::runtime_error);
+}
+
 TEST(Aiger, WriteProducesValidHeader) {
   Aig m;
   const Ref a = m.input(0);

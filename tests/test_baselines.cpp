@@ -5,6 +5,7 @@
 #include "baselines/hqs_lite.hpp"
 #include "baselines/pedant_lite.hpp"
 #include "dqbf/certificate.hpp"
+#include "test_util.hpp"
 #include "workloads/workloads.hpp"
 
 namespace manthan::baselines {
@@ -15,29 +16,8 @@ using cnf::pos;
 using cnf::Var;
 using core::SynthesisResult;
 using core::SynthesisStatus;
-
-dqbf::DqbfFormula paper_example() {
-  dqbf::DqbfFormula f;
-  for (Var x = 0; x < 3; ++x) f.add_universal(x);
-  f.add_existential(3, {0});
-  f.add_existential(4, {0, 1});
-  f.add_existential(5, {1, 2});
-  f.matrix().add_clause({pos(0), pos(3)});
-  f.matrix().add_clause({neg(4), pos(3), neg(1)});
-  f.matrix().add_clause({pos(4), neg(3)});
-  f.matrix().add_clause({pos(4), pos(1)});
-  f.matrix().add_clause({neg(5), pos(1), pos(2)});
-  f.matrix().add_clause({pos(5), neg(1)});
-  f.matrix().add_clause({pos(5), neg(2)});
-  return f;
-}
-
-void expect_certified(const dqbf::DqbfFormula& f, const aig::Aig& manager,
-                      const SynthesisResult& result) {
-  ASSERT_EQ(result.status, SynthesisStatus::kRealizable);
-  EXPECT_EQ(dqbf::check_certificate(f, manager, result.vector).status,
-            dqbf::CertificateStatus::kValid);
-}
+using testutil::expect_certified;
+using testutil::paper_example;
 
 // --- HqsLite ---------------------------------------------------------------
 

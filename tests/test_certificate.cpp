@@ -2,6 +2,7 @@
 // refuted with counterexamples, dependency violations flagged.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
 #include "dqbf/certificate.hpp"
 #include "dqbf/dqbf.hpp"
 
@@ -10,17 +11,7 @@ namespace {
 
 using cnf::neg;
 using cnf::pos;
-
-/// ∀x1,x2 ∃{x1}y. (y ↔ x1)
-DqbfFormula identity_spec() {
-  DqbfFormula f;
-  f.add_universal(0);
-  f.add_universal(1);
-  f.add_existential(2, {0});
-  f.matrix().add_clause({neg(2), pos(0)});
-  f.matrix().add_clause({pos(2), neg(0)});
-  return f;
-}
+using testutil::identity_spec;
 
 TEST(Certificate, AcceptsCorrectVector) {
   const DqbfFormula f = identity_spec();

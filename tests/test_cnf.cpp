@@ -117,6 +117,32 @@ TEST(Dimacs, RejectsMissingHeader) {
   EXPECT_THROW(parse_dimacs_string("1 2 0\n"), std::runtime_error);
 }
 
+TEST(Dimacs, RejectsTruncatedHeader) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs_string("p\n"), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsBadHeader) {
+  EXPECT_THROW(parse_dimacs_string("p dnf 2 1\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs_string("p cnf -3 1\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs_string("p cnf two 1\n1 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dimacs, RejectsOutOfRangeLiteral) {
+  // Declared 2 variables; literal 3 (either sign) is out of range.
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 3 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n-3 2 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dimacs, AcceptsLiteralAtDeclaredBound) {
+  const CnfFormula f = parse_dimacs_string("p cnf 3 1\n-3 1 0\n");
+  EXPECT_EQ(f.num_vars(), 3);
+  EXPECT_EQ(f.num_clauses(), 1u);
+}
+
 TEST(Dimacs, RejectsUnterminatedClause) {
   EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);
 }

@@ -3,6 +3,7 @@
 // return wrong answers, when its deadline expires.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
 #include "baselines/hqs_lite.hpp"
 #include "baselines/pedant_lite.hpp"
 #include "core/manthan3.hpp"
@@ -65,7 +66,7 @@ TEST(Deadlines, MaxSatHonoursDeadline) {
 
 TEST(Deadlines, EnginesReportTimeoutStatus) {
   const dqbf::DqbfFormula f =
-      workloads::gen_planted({14, 8, 7, 8, 80, 99});
+      testutil::hard_planted(99);
   {
     core::Manthan3Options options;
     options.time_limit_seconds = 1e-5;
@@ -97,7 +98,7 @@ TEST(Deadlines, RunnerRecordsTimeoutsAsUnsolved) {
   workloads::Instance instance;
   instance.name = "hard";
   instance.family = "test";
-  instance.formula = workloads::gen_planted({14, 8, 7, 8, 80, 7});
+  instance.formula = testutil::hard_planted(7);
   portfolio::RunnerOptions options;
   options.per_instance_seconds = 1e-5;
   portfolio::Runner runner(options);

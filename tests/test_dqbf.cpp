@@ -3,30 +3,14 @@
 
 #include "dqbf/dqbf.hpp"
 #include "dqbf/dqdimacs.hpp"
+#include "test_util.hpp"
 
 namespace manthan::dqbf {
 namespace {
 
 using cnf::neg;
 using cnf::pos;
-
-DqbfFormula paper_example() {
-  // ∀x1,x2,x3 ∃{x1}y1 ∃{x1,x2}y2 ∃{x2,x3}y3.
-  // (x1 ∨ y1) ∧ (y2 ↔ (y1 ∨ ¬x2)) ∧ (y3 ↔ (x2 ∨ x3))
-  DqbfFormula f;
-  for (Var x = 0; x < 3; ++x) f.add_universal(x);
-  f.add_existential(3, {0});
-  f.add_existential(4, {0, 1});
-  f.add_existential(5, {1, 2});
-  f.matrix().add_clause({pos(0), pos(3)});
-  f.matrix().add_clause({neg(4), pos(3), neg(1)});
-  f.matrix().add_clause({pos(4), neg(3)});
-  f.matrix().add_clause({pos(4), pos(1)});
-  f.matrix().add_clause({neg(5), pos(1), pos(2)});
-  f.matrix().add_clause({pos(5), neg(1)});
-  f.matrix().add_clause({pos(5), neg(2)});
-  return f;
-}
+using testutil::paper_example;
 
 TEST(DqbfFormula, QuantifierClassification) {
   const DqbfFormula f = paper_example();
@@ -82,14 +66,7 @@ TEST(DqbfFormula, ValidateCatchesProblems) {
 }
 
 TEST(Dqdimacs, ParsesDLines) {
-  const DqbfFormula f = parse_dqdimacs_string(
-      "p cnf 5 2\n"
-      "a 1 2 0\n"
-      "d 3 1 0\n"
-      "d 4 1 2 0\n"
-      "e 5 0\n"
-      "1 3 0\n"
-      "-4 5 2 0\n");
+  const DqbfFormula f = parse_dqdimacs_string(testutil::tiny_dqdimacs());
   EXPECT_EQ(f.num_universals(), 2u);
   ASSERT_EQ(f.num_existentials(), 3u);
   EXPECT_EQ(f.existentials()[0].deps, (std::vector<Var>{0}));
@@ -123,6 +100,37 @@ TEST(Dqdimacs, RejectsMalformedInput) {
                std::runtime_error);
   // Unquantified matrix variable.
   EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\n1 2 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dqdimacs, RejectsTruncatedHeader) {
+  EXPECT_THROW(parse_dqdimacs_string(""), std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2\n"), std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p qbf 2 1\na 1 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dqdimacs, RejectsGarbageClauseToken) {
+  // The documented contract is std::runtime_error, not whatever stoi
+  // happens to raise.
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\ne 2 0\nfrog 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dqdimacs, RejectsOutOfRangeLiterals) {
+  // Clause literal beyond the declared variable count.
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\ne 2 0\n1 5 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\ne 2 0\n-9 0\n"),
+               std::runtime_error);
+  // Quantifier declarations beyond the declared count (or negative).
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 7 0\ne 2 0\n2 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na -1 0\ne 2 0\n2 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\nd 9 1 0\n1 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_dqdimacs_string("p cnf 2 1\na 1 0\nd 2 9 0\n1 0\n"),
                std::runtime_error);
 }
 

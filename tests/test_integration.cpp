@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "test_util.hpp"
 #include "baselines/hqs_lite.hpp"
 #include "baselines/pedant_lite.hpp"
 #include "core/manthan3.hpp"
@@ -43,18 +44,7 @@ void exhaustive_check(const dqbf::DqbfFormula& f, const aig::Aig& manager,
 
 TEST(Integration, DqdimacsToCertifiedVector) {
   // Round-trip the paper example through the text format, then solve.
-  dqbf::DqbfFormula original;
-  for (cnf::Var x = 0; x < 3; ++x) original.add_universal(x);
-  original.add_existential(3, {0});
-  original.add_existential(4, {0, 1});
-  original.add_existential(5, {1, 2});
-  original.matrix().add_clause({cnf::pos(0), cnf::pos(3)});
-  original.matrix().add_clause({cnf::neg(4), cnf::pos(3), cnf::neg(1)});
-  original.matrix().add_clause({cnf::pos(4), cnf::neg(3)});
-  original.matrix().add_clause({cnf::pos(4), cnf::pos(1)});
-  original.matrix().add_clause({cnf::neg(5), cnf::pos(1), cnf::pos(2)});
-  original.matrix().add_clause({cnf::pos(5), cnf::neg(1)});
-  original.matrix().add_clause({cnf::pos(5), cnf::neg(2)});
+  const dqbf::DqbfFormula original = testutil::paper_example();
   const dqbf::DqbfFormula f =
       dqbf::parse_dqdimacs_string(dqbf::to_dqdimacs_string(original));
 
@@ -82,7 +72,7 @@ TEST_P(AllEnginesAllFamilies, OutcomeIsSoundAndCertified) {
   bool known_true = false;
   switch (param.family) {
     case 0:
-      f = workloads::gen_planted({6, 3, 3, 4, 18, param.seed});
+      f = testutil::tiny_planted(param.seed);
       known_true = true;
       break;
     case 1:

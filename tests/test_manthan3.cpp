@@ -5,6 +5,7 @@
 
 #include "core/manthan3.hpp"
 #include "dqbf/certificate.hpp"
+#include "test_util.hpp"
 #include "workloads/workloads.hpp"
 
 namespace manthan::core {
@@ -13,6 +14,7 @@ namespace {
 using cnf::neg;
 using cnf::pos;
 using cnf::Var;
+using testutil::expect_certified;
 
 SynthesisResult run(const dqbf::DqbfFormula& f, aig::Aig& manager,
                     Manthan3Options options = {}) {
@@ -21,27 +23,8 @@ SynthesisResult run(const dqbf::DqbfFormula& f, aig::Aig& manager,
   return engine.synthesize(f, manager);
 }
 
-void expect_certified(const dqbf::DqbfFormula& f, const aig::Aig& manager,
-                      const SynthesisResult& result) {
-  ASSERT_EQ(result.status, SynthesisStatus::kRealizable);
-  const dqbf::CertificateResult cert =
-      dqbf::check_certificate(f, manager, result.vector);
-  EXPECT_EQ(cert.status, dqbf::CertificateStatus::kValid);
-}
-
 TEST(Manthan3, PaperExampleSynthesizes) {
-  dqbf::DqbfFormula f;
-  for (Var x = 0; x < 3; ++x) f.add_universal(x);
-  f.add_existential(3, {0});
-  f.add_existential(4, {0, 1});
-  f.add_existential(5, {1, 2});
-  f.matrix().add_clause({pos(0), pos(3)});
-  f.matrix().add_clause({neg(4), pos(3), neg(1)});
-  f.matrix().add_clause({pos(4), neg(3)});
-  f.matrix().add_clause({pos(4), pos(1)});
-  f.matrix().add_clause({neg(5), pos(1), pos(2)});
-  f.matrix().add_clause({pos(5), neg(1)});
-  f.matrix().add_clause({pos(5), neg(2)});
+  const dqbf::DqbfFormula f = testutil::paper_example();
 
   aig::Aig manager;
   const SynthesisResult result = run(f, manager);
@@ -168,7 +151,7 @@ TEST(Manthan3, RepairLoopFixesBadCandidates) {
 }
 
 TEST(Manthan3, FinalFunctionsRespectHenkinSupport) {
-  const dqbf::DqbfFormula f = workloads::gen_planted({8, 4, 3, 5, 24, 11});
+  const dqbf::DqbfFormula f = testutil::small_planted(11, 24);
   aig::Aig manager;
   const SynthesisResult result = run(f, manager);
   ASSERT_EQ(result.status, SynthesisStatus::kRealizable);
@@ -227,7 +210,7 @@ TEST(Manthan3, TimeoutIsReported) {
 }
 
 TEST(Manthan3, StatsArepopulated) {
-  const dqbf::DqbfFormula f = workloads::gen_planted({8, 4, 3, 5, 30, 21});
+  const dqbf::DqbfFormula f = testutil::small_planted(21);
   aig::Aig manager;
   const SynthesisResult result = run(f, manager);
   EXPECT_GT(result.stats.samples, 0u);

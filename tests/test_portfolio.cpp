@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "test_util.hpp"
 #include "portfolio/runner.hpp"
 #include "portfolio/tables.hpp"
 
@@ -118,18 +119,7 @@ TEST(Runner, RunsPaperExampleWithAllEngines) {
   workloads::Instance instance;
   instance.name = "paper_example";
   instance.family = "manual";
-  dqbf::DqbfFormula& f = instance.formula;
-  for (cnf::Var x = 0; x < 3; ++x) f.add_universal(x);
-  f.add_existential(3, {0});
-  f.add_existential(4, {0, 1});
-  f.add_existential(5, {1, 2});
-  f.matrix().add_clause({cnf::pos(0), cnf::pos(3)});
-  f.matrix().add_clause({cnf::neg(4), cnf::pos(3), cnf::neg(1)});
-  f.matrix().add_clause({cnf::pos(4), cnf::neg(3)});
-  f.matrix().add_clause({cnf::pos(4), cnf::pos(1)});
-  f.matrix().add_clause({cnf::neg(5), cnf::pos(1), cnf::pos(2)});
-  f.matrix().add_clause({cnf::pos(5), cnf::neg(1)});
-  f.matrix().add_clause({cnf::pos(5), cnf::neg(2)});
+  instance.formula = testutil::paper_example();
 
   RunnerOptions options;
   options.per_instance_seconds = 20.0;

@@ -2,6 +2,7 @@
 // reconstruction of full Henkin vectors, and equisatisfiability sweeps.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
 #include "baselines/hqs_lite.hpp"
 #include "dqbf/certificate.hpp"
 #include "preprocess/hqspre_lite.hpp"
@@ -147,7 +148,7 @@ TEST(HqspreLite, PreservesTruthOnGeneratedFamilies) {
   // Equisatisfiability sweep: preprocess + solve == solve directly.
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     const dqbf::DqbfFormula original =
-        workloads::gen_planted({6, 3, 3, 4, 18, seed});
+        testutil::tiny_planted(seed);
     const PreprocessResult pre = HqspreLite().run(original);
     ASSERT_FALSE(pre.proven_false) << "planted instances are True";
 
@@ -178,7 +179,7 @@ TEST(HqspreLite, FalseFamilyDetectedOrPreserved) {
 
 TEST(HqspreLite, IdempotentOnFixpoint) {
   const dqbf::DqbfFormula original =
-      workloads::gen_planted({6, 3, 3, 4, 18, 77});
+      testutil::tiny_planted(77);
   const PreprocessResult once = HqspreLite().run(original);
   ASSERT_FALSE(once.proven_false);
   const PreprocessResult twice = HqspreLite().run(once.simplified);

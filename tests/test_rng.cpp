@@ -82,9 +82,9 @@ TEST(Deadline, UnlimitedNeverExpires) {
 
 TEST(Deadline, TinyBudgetExpires) {
   Deadline d(1e-9);
-  // Burn a little time.
-  volatile int sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  // Burn a little time (unsigned: the sum overflows an int, which is UB).
+  volatile unsigned sink = 0;
+  for (unsigned i = 0; i < 100000; ++i) sink += i;
   EXPECT_TRUE(d.expired());
   EXPECT_EQ(d.remaining_seconds(), 0.0);
 }

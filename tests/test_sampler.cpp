@@ -116,11 +116,15 @@ TEST(Sampler, DeadlineReturnsPartialData) {
   CnfFormula f(10);
   f.add_clause({pos(0), pos(1)});
   SamplerOptions options;
-  options.num_samples = 100000;  // far more than the deadline allows
+  // A fast solver draws ~100k trivial models in under 50ms, so the request
+  // must exceed any plausible machine speed for the deadline to bind.
+  options.num_samples = 100000000;
   Sampler sampler(options);
   const util::Deadline deadline(0.05);
   const auto samples = sampler.sample(f, {}, &deadline);
-  EXPECT_LT(samples.size(), 100000u);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_LT(samples.size(), options.num_samples);
+  EXPECT_FALSE(samples.empty());
 }
 
 }  // namespace

@@ -228,7 +228,9 @@ TEST_P(SolverRandomAgreement, MatchesBruteForce) {
     }
     const Result r = s.solve();
     EXPECT_EQ(r == Result::kSat, expected);
-    if (r == Result::kSat) EXPECT_TRUE(f.satisfied_by(s.model()));
+    if (r == Result::kSat) {
+      EXPECT_TRUE(f.satisfied_by(s.model()));
+    }
   }
 }
 

@@ -1,0 +1,114 @@
+// Shared helpers for the test suites: canonical DQBF fixtures, tiny
+// DQDIMACS text fixtures, planted-formula builders, and a certificate-check
+// matcher. Everything is inline and header-only; a suite only pays the link
+// dependencies of the helpers it actually calls.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/manthan3.hpp"
+#include "dqbf/certificate.hpp"
+#include "dqbf/dqbf.hpp"
+#include "workloads/workloads.hpp"
+
+namespace manthan::testutil {
+
+/// The running example from the paper:
+/// ∀x1,x2,x3 ∃{x1}y1 ∃{x1,x2}y2 ∃{x2,x3}y3.
+/// (x1 ∨ y1) ∧ (y2 ↔ (y1 ∨ ¬x2)) ∧ (y3 ↔ (x2 ∨ x3))
+inline dqbf::DqbfFormula paper_example() {
+  dqbf::DqbfFormula f;
+  for (cnf::Var x = 0; x < 3; ++x) f.add_universal(x);
+  f.add_existential(3, {0});
+  f.add_existential(4, {0, 1});
+  f.add_existential(5, {1, 2});
+  f.matrix().add_clause({cnf::pos(0), cnf::pos(3)});
+  f.matrix().add_clause({cnf::neg(4), cnf::pos(3), cnf::neg(1)});
+  f.matrix().add_clause({cnf::pos(4), cnf::neg(3)});
+  f.matrix().add_clause({cnf::pos(4), cnf::pos(1)});
+  f.matrix().add_clause({cnf::neg(5), cnf::pos(1), cnf::pos(2)});
+  f.matrix().add_clause({cnf::pos(5), cnf::neg(1)});
+  f.matrix().add_clause({cnf::pos(5), cnf::neg(2)});
+  return f;
+}
+
+/// ∀x1,x2 ∃{x1}y. (y ↔ x1) — the smallest realizable spec with a proper
+/// dependency restriction (y may not see x2).
+inline dqbf::DqbfFormula identity_spec() {
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  f.add_existential(2, {0});
+  f.matrix().add_clause({cnf::neg(2), cnf::pos(0)});
+  f.matrix().add_clause({cnf::pos(2), cnf::neg(0)});
+  return f;
+}
+
+/// Tiny DQDIMACS text exercising a-, d- and e-lines (1-based variables):
+/// ∀x1,x2 ∃{x1}y3 ∃{x1,x2}y4 ∃{x1,x2}y5 with two clauses.
+inline std::string tiny_dqdimacs() {
+  return
+      "p cnf 5 2\n"
+      "a 1 2 0\n"
+      "d 3 1 0\n"
+      "d 4 1 2 0\n"
+      "e 5 0\n"
+      "1 3 0\n"
+      "-4 5 2 0\n";
+}
+
+// --- planted-formula builders (realizable by construction) -----------------
+// Canonical parameter points shared by several suites; pick the smallest
+// size that exercises what you need so suites stay fast.
+
+/// 6 universals / 3 existentials — small enough for exhaustive checking.
+inline dqbf::DqbfFormula tiny_planted(std::uint64_t seed,
+                                      std::size_t num_clauses = 18) {
+  return workloads::gen_planted({6, 3, 3, 4, num_clauses, seed});
+}
+
+/// 8 universals / 4 existentials — the default mid-size instance.
+inline dqbf::DqbfFormula small_planted(std::uint64_t seed,
+                                       std::size_t num_clauses = 30) {
+  return workloads::gen_planted({8, 4, 3, 5, num_clauses, seed});
+}
+
+/// 14 universals / 8 existentials with wide dependency sets — big enough
+/// that engines do real work, used by the deadline/timeout suites.
+inline dqbf::DqbfFormula hard_planted(std::uint64_t seed) {
+  return workloads::gen_planted({14, 8, 7, 8, 80, seed});
+}
+
+// --- certificate-check matcher ---------------------------------------------
+
+/// Predicate form usable as EXPECT_TRUE(is_certified(f, manager, result));
+/// failure messages carry the synthesis status and certificate verdict.
+inline ::testing::AssertionResult is_certified(
+    const dqbf::DqbfFormula& f, const aig::Aig& manager,
+    const core::SynthesisResult& result) {
+  if (result.status != core::SynthesisStatus::kRealizable) {
+    return ::testing::AssertionFailure()
+           << "synthesis did not return kRealizable (status="
+           << static_cast<int>(result.status) << ")";
+  }
+  const dqbf::CertificateResult cert =
+      dqbf::check_certificate(f, manager, result.vector);
+  if (cert.status != dqbf::CertificateStatus::kValid) {
+    return ::testing::AssertionFailure()
+           << "certificate check rejected the vector (status="
+           << static_cast<int>(cert.status) << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Hard-failing form: aborts the calling test on an uncertified result.
+inline void expect_certified(const dqbf::DqbfFormula& f,
+                             const aig::Aig& manager,
+                             const core::SynthesisResult& result) {
+  ASSERT_EQ(result.status, core::SynthesisStatus::kRealizable);
+  EXPECT_TRUE(is_certified(f, manager, result));
+}
+
+}  // namespace manthan::testutil

@@ -1,5 +1,7 @@
 #include "sampler/sampler.hpp"
 
+#include <unordered_set>
+
 #include "sat/solver.hpp"
 
 namespace manthan::sampler {
@@ -10,14 +12,26 @@ std::vector<Assignment> Sampler::sample(const CnfFormula& formula,
                                         const std::vector<Var>& bias_vars,
                                         const util::Deadline* deadline) {
   std::vector<Assignment> samples;
+  // Randomized branching can rediscover the same model; the training set
+  // must contain distinct assignments, so repeats are dropped and the
+  // draw loop tops itself up. A duplicate budget bounds the extra solver
+  // calls when the formula has fewer models than requested.
+  std::unordered_set<std::vector<bool>> seen;
 
   const auto draw = [&](sat::Solver& solver, std::size_t count) {
-    for (std::size_t i = 0; i < count; ++i) {
+    std::size_t duplicates = 0;
+    const std::size_t max_duplicates = 16 + 4 * count;
+    while (count > 0) {
       if (deadline != nullptr && deadline->expired()) break;
       const sat::Result result =
           deadline != nullptr ? solver.solve({}, *deadline) : solver.solve();
       if (result != sat::Result::kSat) break;
-      samples.push_back(solver.model());
+      if (seen.insert(solver.model().bits()).second) {
+        samples.push_back(solver.model());
+        --count;
+      } else if (++duplicates >= max_duplicates) {
+        break;
+      }
     }
   };
 

@@ -48,6 +48,9 @@ class Sampler {
   /// Draw up to options.num_samples models of `formula`. `bias_vars` are
   /// the variables subject to adaptive weighting (the Y variables in
   /// Manthan3). Returns an empty vector iff the formula is UNSAT.
+  /// The returned assignments are pairwise distinct: repeated models are
+  /// dropped and redrawn, so fewer than num_samples samples may come back
+  /// when the formula has fewer models than requested.
   std::vector<Assignment> sample(const CnfFormula& formula,
                                  const std::vector<Var>& bias_vars,
                                  const util::Deadline* deadline = nullptr);

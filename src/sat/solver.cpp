@@ -1,7 +1,9 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace manthan::sat {
 
@@ -77,6 +79,16 @@ void Solver::OrderHeap::sift_down(std::size_t i) {
 Solver::Solver(SolverOptions options)
     : options_(options), rng_(options.seed) {}
 
+float Solver::clause_activity(ClauseRef c) const {
+  float a;
+  std::memcpy(&a, &arena_[c + 2], sizeof(a));
+  return a;
+}
+
+void Solver::set_clause_activity(ClauseRef c, float activity) {
+  std::memcpy(&arena_[c + 2], &activity, sizeof(activity));
+}
+
 Var Solver::new_var() {
   const Var v = num_vars();
   assigns_.push_back(LBool::kUndef);
@@ -94,30 +106,33 @@ void Solver::ensure_vars(Var n) {
   while (num_vars() < n) new_var();
 }
 
-bool Solver::add_clause(Clause clause) {
+bool Solver::add_clause(const Clause& clause) {
   if (!ok_) return false;
   assert(decision_level() == 0);
   for (const Lit l : clause) ensure_vars(l.var() + 1);
-  // Normalize: sort, drop duplicate/false literals, detect tautology.
-  std::sort(clause.begin(), clause.end());
-  std::vector<Lit> lits;
+  // Normalize into the scratch buffer: sort, drop duplicate/false
+  // literals, detect tautology.
+  add_tmp_.assign(clause.begin(), clause.end());
+  std::sort(add_tmp_.begin(), add_tmp_.end());
+  std::size_t keep = 0;
   Lit prev = cnf::kUndefLit;
-  for (const Lit l : clause) {
+  for (const Lit l : add_tmp_) {
     if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
     if (value(l) == LBool::kFalse || l == prev) continue;     // falsified/dup
-    lits.push_back(l);
+    add_tmp_[keep++] = l;
     prev = l;
   }
-  if (lits.empty()) {
+  add_tmp_.resize(keep);
+  if (add_tmp_.empty()) {
     ok_ = false;
     return false;
   }
-  if (lits.size() == 1) {
-    enqueue(lits[0], kNoReason);
+  if (add_tmp_.size() == 1) {
+    enqueue(add_tmp_[0], kNoReason);
     ok_ = (propagate() == kNoReason);
     return ok_;
   }
-  attach_new_clause(std::move(lits), /*learnt=*/false);
+  attach_new_clause(add_tmp_, /*learnt=*/false, /*lbd=*/0);
   return true;
 }
 
@@ -129,27 +144,46 @@ bool Solver::add_formula(const CnfFormula& formula) {
   return ok_;
 }
 
-Solver::ClauseRef Solver::attach_new_clause(std::vector<Lit> lits,
-                                            bool learnt) {
-  const ClauseRef cref = static_cast<ClauseRef>(clauses_.size());
-  clauses_.push_back({std::move(lits), 0.0, learnt, false});
+Solver::ClauseRef Solver::attach_new_clause(const std::vector<Lit>& lits,
+                                            bool learnt, std::uint32_t lbd) {
+  assert(lits.size() >= 2);
+  const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << kSizeShift) |
+                   (learnt ? kLearntBit : 0u));
+  if (learnt) {
+    arena_.push_back(lbd);
+    arena_.push_back(0u);  // activity 0.0f by bit pattern
+  }
+  for (const Lit l : lits) {
+    arena_.push_back(static_cast<std::uint32_t>(l.code()));
+  }
   (learnt ? learnt_clauses_ : problem_clauses_).push_back(cref);
   attach_watches(cref);
   return cref;
 }
 
 void Solver::attach_watches(ClauseRef cref) {
-  const auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
-  watches_[static_cast<std::size_t>((~lits[0]).code())].push_back(
-      {cref, lits[1]});
-  watches_[static_cast<std::size_t>((~lits[1]).code())].push_back(
-      {cref, lits[0]});
+  const Lit l0 = clause_lit(cref, 0);
+  const Lit l1 = clause_lit(cref, 1);
+  if (clause_size(cref) == 2) {
+    // Binary: the watcher's blocker is the implied literal.
+    watches_[static_cast<std::size_t>((~l0).code())].push_back(
+        {cref | kBinaryTag, l1});
+    watches_[static_cast<std::size_t>((~l1).code())].push_back(
+        {cref | kBinaryTag, l0});
+  } else {
+    watches_[static_cast<std::size_t>((~l0).code())].push_back({cref, l1});
+    watches_[static_cast<std::size_t>((~l1).code())].push_back({cref, l0});
+  }
 }
 
 void Solver::detach_watches(ClauseRef cref) {
-  const auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
+  // Only non-binary clauses are ever detached (reduce_db spares binaries),
+  // so the watcher entries carry the untagged cref.
+  assert(clause_size(cref) > 2);
   for (int i = 0; i < 2; ++i) {
-    auto& list = watches_[static_cast<std::size_t>((~lits[i]).code())];
+    const Lit watched = clause_lit(cref, static_cast<std::uint32_t>(i));
+    auto& list = watches_[static_cast<std::size_t>((~watched).code())];
     for (std::size_t j = 0; j < list.size(); ++j) {
       if (list[j].cref == cref) {
         list[j] = list.back();
@@ -158,6 +192,12 @@ void Solver::detach_watches(ClauseRef cref) {
       }
     }
   }
+}
+
+void Solver::remove_clause(ClauseRef cref) {
+  detach_watches(cref);
+  wasted_ += record_words(cref);
+  arena_[cref] |= kMarkBit;
 }
 
 // ---------------------------------------------------------------------------
@@ -176,38 +216,59 @@ Solver::ClauseRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
     ++stats_.propagations;
-    auto& watch_list = watches_[static_cast<std::size_t>(p.code())];
+    const auto p_code = static_cast<std::size_t>(p.code());
+    auto& watch_list = watches_[p_code];
     std::size_t keep = 0;
     for (std::size_t i = 0; i < watch_list.size(); ++i) {
       const Watcher w = watch_list[i];
-      if (value(w.blocker) == LBool::kTrue) {
+      const LBool blocker_value = value(w.blocker);
+      if (blocker_value == LBool::kTrue) {
         watch_list[keep++] = w;
         continue;
       }
-      auto& clause = clauses_[static_cast<std::size_t>(w.cref)];
-      auto& lits = clause.lits;
+      if ((w.cref & kBinaryTag) != 0) {
+        // Binary fast path: the blocker is the implied literal, so the
+        // arena is never touched while propagating over binaries.
+        watch_list[keep++] = w;
+        if (blocker_value == LBool::kFalse) {
+          // Conflict: keep the remaining watchers and bail out.
+          for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+            watch_list[keep++] = watch_list[j];
+          }
+          watch_list.resize(keep);
+          propagate_head_ = trail_.size();
+          return w.cref & ~kBinaryTag;
+        }
+        enqueue(w.blocker, w.cref & ~kBinaryTag);
+        continue;
+      }
+      const std::uint32_t header = arena_[w.cref];
+      std::uint32_t* lits = &arena_[w.cref + 1 + ((header & kLearntBit) << 1)];
+      const std::uint32_t size = header >> kSizeShift;
       // Ensure the false literal (~p) sits at position 1.
-      const Lit not_p = ~p;
+      const auto not_p = static_cast<std::uint32_t>((~p).code());
       if (lits[0] == not_p) std::swap(lits[0], lits[1]);
-      if (value(lits[0]) == LBool::kTrue) {
-        watch_list[keep++] = {w.cref, lits[0]};
+      const Lit first = Lit::from_code(static_cast<std::int32_t>(lits[0]));
+      if (value(first) == LBool::kTrue) {
+        watch_list[keep++] = {w.cref, first};
         continue;
       }
       // Look for a replacement watch.
       bool found = false;
-      for (std::size_t k = 2; k < lits.size(); ++k) {
-        if (value(lits[k]) != LBool::kFalse) {
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(Lit::from_code(static_cast<std::int32_t>(lits[k]))) !=
+            LBool::kFalse) {
           std::swap(lits[1], lits[k]);
-          watches_[static_cast<std::size_t>((~lits[1]).code())].push_back(
-              {w.cref, lits[0]});
+          watches_[static_cast<std::size_t>(lits[1] ^ 1u)].push_back(
+              {w.cref, first});
           found = true;
           break;
         }
       }
       if (found) continue;
       // Clause is unit or conflicting.
-      watch_list[keep++] = {w.cref, lits[0]};
-      if (value(lits[0]) == LBool::kFalse) {
+      watch_list[keep++] = {w.cref, first};
+      if (value(first) == LBool::kFalse) {
         // Conflict: keep the remaining watchers and bail out.
         for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
           watch_list[keep++] = watch_list[j];
@@ -216,7 +277,7 @@ Solver::ClauseRef Solver::propagate() {
         propagate_head_ = trail_.size();
         return w.cref;
       }
-      enqueue(lits[0], w.cref);
+      enqueue(first, w.cref);
     }
     watch_list.resize(keep);
   }
@@ -252,11 +313,16 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
 
   ClauseRef reason_ref = conflict;
   do {
-    auto& clause = clauses_[static_cast<std::size_t>(reason_ref)];
-    if (clause.learnt) clause_bump_activity(clause);
-    const std::size_t start = (p == cnf::kUndefLit) ? 0 : 1;
-    for (std::size_t i = start; i < clause.lits.size(); ++i) {
-      const Lit q = clause.lits[i];
+    if (clause_learnt(reason_ref)) {
+      clause_bump_activity(reason_ref);
+      // Glucose: keep the best (lowest) LBD the clause ever exhibits.
+      const std::uint32_t lbd = lbd_of_clause(reason_ref);
+      if (lbd < clause_lbd(reason_ref)) set_clause_lbd(reason_ref, lbd);
+    }
+    const std::uint32_t size = clause_size(reason_ref);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const Lit q = clause_lit(reason_ref, i);
+      if (q == p) continue;  // the literal this reason clause implied
       const auto v = static_cast<std::size_t>(q.var());
       if (seen_[v] || level(q.var()) == 0) continue;
       seen_[v] = 1;
@@ -328,9 +394,10 @@ bool Solver::literal_redundant(Lit p, std::uint32_t abstract_levels) {
     stack.pop_back();
     const ClauseRef r = reason(q.var());
     assert(r != kNoReason);
-    const auto& lits = clauses_[static_cast<std::size_t>(r)].lits;
-    for (std::size_t i = 1; i < lits.size(); ++i) {
-      const Lit l = lits[i];
+    const std::uint32_t size = clause_size(r);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const Lit l = clause_lit(r, i);
+      if (l.var() == q.var()) continue;  // the implied literal itself
       const auto v = static_cast<std::size_t>(l.var());
       if (seen_[v] || level(l.var()) == 0) continue;
       if (reason(l.var()) == kNoReason ||
@@ -371,10 +438,12 @@ void Solver::analyze_final(Lit failed, std::vector<Lit>& out_core) {
       // only decisions made before analyze_final can run).
       out_core.push_back(trail_[i]);
     } else {
-      const auto& lits = clauses_[static_cast<std::size_t>(r)].lits;
-      for (std::size_t k = 1; k < lits.size(); ++k) {
-        if (level(lits[k].var()) > 0) {
-          seen_[static_cast<std::size_t>(lits[k].var())] = 1;
+      const std::uint32_t size = clause_size(r);
+      for (std::uint32_t k = 0; k < size; ++k) {
+        const Lit l = clause_lit(r, k);
+        if (l.var() == v) continue;  // the implied literal itself
+        if (level(l.var()) > 0) {
+          seen_[static_cast<std::size_t>(l.var())] = 1;
         }
       }
     }
@@ -383,7 +452,7 @@ void Solver::analyze_final(Lit failed, std::vector<Lit>& out_core) {
 }
 
 // ---------------------------------------------------------------------------
-// Activities
+// Activities and LBD
 // ---------------------------------------------------------------------------
 
 void Solver::var_bump_activity(Var v) {
@@ -397,11 +466,13 @@ void Solver::var_bump_activity(Var v) {
 
 void Solver::var_decay_activity() { var_inc_ /= options_.var_decay; }
 
-void Solver::clause_bump_activity(ClauseData& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (const ClauseRef cref : learnt_clauses_) {
-      clauses_[static_cast<std::size_t>(cref)].activity *= 1e-20;
+void Solver::clause_bump_activity(ClauseRef cref) {
+  const float bumped =
+      clause_activity(cref) + static_cast<float>(clause_inc_);
+  set_clause_activity(cref, bumped);
+  if (bumped > 1e20f) {
+    for (const ClauseRef c : learnt_clauses_) {
+      set_clause_activity(c, clause_activity(c) * 1e-20f);
     }
     clause_inc_ *= 1e-20;
   }
@@ -409,6 +480,36 @@ void Solver::clause_bump_activity(ClauseData& c) {
 
 void Solver::clause_decay_activity() {
   clause_inc_ /= options_.clause_activity_decay;
+}
+
+/// Number of distinct (non-root) decision levels among `size` literals
+/// produced by `lit_at(i)` — the literal-block distance.
+template <typename LitAt>
+std::uint32_t Solver::lbd_of(std::uint32_t size, LitAt lit_at) {
+  if (lbd_stamp_.size() <= static_cast<std::size_t>(decision_level())) {
+    lbd_stamp_.resize(static_cast<std::size_t>(decision_level()) + 1, 0);
+  }
+  ++lbd_stamp_counter_;
+  std::uint32_t lbd = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const auto lev = static_cast<std::size_t>(level(lit_at(i).var()));
+    if (lev == 0) continue;
+    if (lbd_stamp_[lev] != lbd_stamp_counter_) {
+      lbd_stamp_[lev] = lbd_stamp_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+std::uint32_t Solver::lbd_of_lits(const std::vector<Lit>& lits) {
+  return lbd_of(static_cast<std::uint32_t>(lits.size()),
+                [&](std::uint32_t i) { return lits[i]; });
+}
+
+std::uint32_t Solver::lbd_of_clause(ClauseRef cref) {
+  return lbd_of(clause_size(cref),
+                [&](std::uint32_t i) { return clause_lit(cref, i); });
 }
 
 // ---------------------------------------------------------------------------
@@ -442,35 +543,107 @@ Lit Solver::pick_branch_lit() {
 }
 
 bool Solver::clause_locked(ClauseRef cref) const {
-  const auto& lits = clauses_[static_cast<std::size_t>(cref)].lits;
-  return value(lits[0]) == LBool::kTrue && reason(lits[0].var()) == cref;
+  // Valid for clauses of size >= 3 only: long-clause propagation keeps the
+  // implied literal at position 0. (A binary reason may have it at either
+  // position, but binaries are never removal candidates.)
+  const Lit first = clause_lit(cref, 0);
+  return value(first) == LBool::kTrue && reason(first.var()) == cref;
 }
 
 void Solver::reduce_db() {
   ++stats_.db_reductions;
+  // Record the LBD tier census before removal.
+  stats_.tier_core = stats_.tier_mid = stats_.tier_local = 0;
+  for (const ClauseRef cref : learnt_clauses_) {
+    const std::uint32_t lbd = clause_lbd(cref);
+    if (lbd <= kCoreLbd) {
+      ++stats_.tier_core;
+    } else if (lbd <= kMidLbd) {
+      ++stats_.tier_mid;
+    } else {
+      ++stats_.tier_local;
+    }
+  }
+  // Worst clauses first: highest LBD, ties broken by lowest activity.
+  // Core clauses (LBD <= kCoreLbd) sort to the back and survive.
   std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
             [&](ClauseRef a, ClauseRef b) {
-              return clauses_[static_cast<std::size_t>(a)].activity <
-                     clauses_[static_cast<std::size_t>(b)].activity;
+              const std::uint32_t la = clause_lbd(a);
+              const std::uint32_t lb = clause_lbd(b);
+              if (la != lb) return la > lb;
+              return clause_activity(a) < clause_activity(b);
             });
   const std::size_t target = learnt_clauses_.size() / 2;
   std::vector<ClauseRef> kept;
   kept.reserve(learnt_clauses_.size());
-  for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
-    const ClauseRef cref = learnt_clauses_[i];
-    auto& clause = clauses_[static_cast<std::size_t>(cref)];
-    const bool removable = clause.lits.size() > 2 && !clause_locked(cref) &&
-                           i < target;
+  std::size_t removed = 0;
+  for (const ClauseRef cref : learnt_clauses_) {
+    const bool removable = removed < target && clause_size(cref) > 2 &&
+                           clause_lbd(cref) > kCoreLbd &&
+                           !clause_locked(cref);
     if (removable) {
-      detach_watches(cref);
-      clause.removed = true;
-      clause.lits.clear();
-      clause.lits.shrink_to_fit();
+      remove_clause(cref);
+      ++removed;
     } else {
       kept.push_back(cref);
     }
   }
   learnt_clauses_ = std::move(kept);
+  maybe_garbage_collect();
+}
+
+// ---------------------------------------------------------------------------
+// Arena garbage collection
+// ---------------------------------------------------------------------------
+
+void Solver::maybe_garbage_collect() {
+  // Mark-compact once removed records waste more than ~20% of the arena.
+  if (wasted_ > 0 && wasted_ * 5 > arena_.size()) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  ++stats_.gc_runs;
+  std::vector<std::uint32_t> to;
+  to.reserve(arena_.size() - wasted_);
+  // Copy a live record on first visit and leave a forwarding address in
+  // its old header so every other root referencing it follows along.
+  const auto reloc = [&](ClauseRef& cref) {
+    if ((arena_[cref] & kRelocBit) != 0) {
+      cref = arena_[cref + 1];
+      return;
+    }
+    assert(!clause_removed(cref));
+    const std::uint32_t words = record_words(cref);
+    const auto moved = static_cast<ClauseRef>(to.size());
+    to.insert(to.end(), arena_.begin() + cref, arena_.begin() + cref + words);
+    arena_[cref] |= kRelocBit;
+    // Forwarding address in the word after the header (the LBD slot for
+    // learnt clauses, lit0 for problem clauses — the record is dead).
+    arena_[cref + 1] = moved;
+    cref = moved;
+  };
+  for (auto& list : watches_) {
+    for (Watcher& w : list) {
+      ClauseRef untagged = w.cref & ~kBinaryTag;
+      reloc(untagged);
+      w.cref = untagged | (w.cref & kBinaryTag);
+    }
+  }
+  // Reasons of assigned variables are live roots; reasons of unassigned
+  // variables are stale and must not survive as dangling offsets.
+  for (const Lit l : trail_) {
+    ClauseRef& r = var_data_[static_cast<std::size_t>(l.var())].reason;
+    if (r != kNoReason) reloc(r);
+  }
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (value(v) == LBool::kUndef) {
+      var_data_[static_cast<std::size_t>(v)].reason = kNoReason;
+    }
+  }
+  for (ClauseRef& cref : problem_clauses_) reloc(cref);
+  for (ClauseRef& cref : learnt_clauses_) reloc(cref);
+  arena_ = std::move(to);
+  wasted_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -509,10 +682,19 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
     return Result::kUnsat;
   }
 
-  if (max_learnts_ <= 0.0) {
-    max_learnts_ = std::max<double>(
-        1000.0, static_cast<double>(problem_clauses_.size()) / 3.0);
-  }
+  // Rescale the learnt budget against the *current* problem size so that
+  // clauses added incrementally between solves (e.g. MaxSAT relaxation
+  // rounds) grow it; growth applied by earlier reductions is kept.
+  max_learnts_ = std::max(
+      max_learnts_,
+      std::max<double>(1000.0,
+                       static_cast<double>(problem_clauses_.size()) / 3.0));
+
+  // Deadlines are polled on a decision + propagation counter (not only on
+  // conflicts): conflict-light solves spend all their time propagating,
+  // and the root-level propagate() above can already exceed a tight
+  // deadline before the first conflict ever happens.
+  std::uint64_t next_deadline_poll = stats_.decisions + stats_.propagations;
 
   std::int64_t restart_round = 0;
   std::vector<Lit> learnt;
@@ -521,6 +703,15 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
         luby(++restart_round) * options_.restart_base;
     std::int64_t conflicts_this_round = 0;
     while (true) {
+      if (deadline != nullptr &&
+          stats_.decisions + stats_.propagations >= next_deadline_poll) {
+        next_deadline_poll =
+            stats_.decisions + stats_.propagations + kDeadlinePollInterval;
+        if (deadline->expired()) {
+          cancel_until(0);
+          return Result::kUnknown;
+        }
+      }
       const ClauseRef conflict = propagate();
       if (conflict != kNoReason) {
         ++stats_.conflicts;
@@ -531,6 +722,8 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
         }
         std::int32_t bt_level = 0;
         analyze(conflict, learnt, bt_level);
+        // LBD must be computed before backtracking erases the levels.
+        const std::uint32_t lbd = lbd_of_lits(learnt);
         // Never backtrack past the assumption prefix unexpectedly: the
         // learnt clause's asserting literal stays valid because bt_level
         // is computed from the clause itself.
@@ -539,17 +732,13 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
           if (decision_level() > 0) cancel_until(0);
           enqueue(learnt[0], kNoReason);
         } else {
-          const ClauseRef cref = attach_new_clause(learnt, /*learnt=*/true);
-          clause_bump_activity(clauses_[static_cast<std::size_t>(cref)]);
+          const ClauseRef cref =
+              attach_new_clause(learnt, /*learnt=*/true, lbd);
+          clause_bump_activity(cref);
           enqueue(learnt[0], cref);
         }
         var_decay_activity();
         clause_decay_activity();
-        if ((stats_.conflicts & 1023) == 0 && deadline != nullptr &&
-            deadline->expired()) {
-          cancel_until(0);
-          return Result::kUnknown;
-        }
         if (conflicts_this_round >= budget) {
           ++stats_.restarts;
           cancel_until(0);
@@ -607,6 +796,13 @@ LBool Solver::fixed_value(Lit l) const {
   const auto v = static_cast<std::size_t>(l.var());
   if (var_data_[v].level != 0) return LBool::kUndef;
   return value(l);
+}
+
+const SolverStats& Solver::stats() const {
+  stats_.arena_bytes = arena_.size() * sizeof(std::uint32_t);
+  stats_.wasted_bytes = wasted_ * sizeof(std::uint32_t);
+  stats_.max_learnts = max_learnts_;
+  return stats_;
 }
 
 }  // namespace manthan::sat

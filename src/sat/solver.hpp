@@ -10,8 +10,44 @@
 //
 // Architecture: classic MiniSat-style two-watched-literal propagation,
 // first-UIP clause learning with self-subsumption minimization, VSIDS
-// decision heuristic with phase saving, Luby restarts, and activity-based
-// learnt-clause database reduction.
+// decision heuristic with phase saving, Luby restarts, and Glucose-style
+// LBD-tiered learnt-clause database reduction.
+//
+// Clause storage is a flat arena (MiniSat/Glucose "clause allocator"):
+// one contiguous std::vector<uint32_t> holds every clause as a packed
+// record
+//
+//     [header]([lbd][activity] learnt only)[lit0][lit1]...[litN-1]
+//
+// where the header word packs the literal count (bits 3..31) with three
+// flags (learnt / removed-mark / relocated), `lbd` is the clause's
+// literal-block distance (number of distinct decision levels at learn
+// time, updated downwards whenever the clause is reused in conflict
+// analysis), and `activity` is a float stored by bit pattern. A ClauseRef
+// is simply the record's word offset into the arena, so propagation walks
+// cache-contiguous memory instead of chasing a per-clause heap pointer.
+//
+// Binary clauses get a fast path inside the shared watch lists: their
+// watchers carry a tag bit in the ClauseRef and store the implied literal
+// as the blocker, so propagating over a binary clause decides
+// satisfied/unit/conflict from the watcher alone and never touches the
+// arena; the arena record only backs conflict/reason lookups.
+//
+// Removing a learnt clause marks its record and counts the words as
+// wasted; when waste exceeds ~20% of the arena, a mark-compact garbage
+// collector copies the live records into a fresh arena and rewrites every
+// root (watch lists, binary watch lists, reason references of assigned
+// variables, problem/learnt clause lists) through per-record forwarding
+// addresses. Memory for deleted clauses is therefore actually reclaimed,
+// not just flagged.
+//
+// reduce_db() keeps learnt clauses by quality, not just recency: clauses
+// with LBD <= 3 form the "core" tier and are never deleted, LBD 4..6 is
+// the "mid" tier, everything above is "local"; the worse half (highest
+// LBD, then lowest activity) of the non-core clauses is dropped at each
+// reduction. SolverStats exposes the arena size, current wasted bytes, GC
+// run count, the tier sizes of the last reduction, and the learnt-clause
+// budget (max_learnts) in effect.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +96,22 @@ struct SolverStats {
   std::uint64_t learnt_literals = 0;
   std::uint64_t minimized_literals = 0;
   std::uint64_t db_reductions = 0;
+  // --- clause-arena accounting (snapshots refreshed by stats()) ----------
+  /// Current byte size of the flat clause arena.
+  std::uint64_t arena_bytes = 0;
+  /// Bytes currently held by removed-but-not-yet-collected clause records.
+  /// Bounded by the GC trigger at ~20% of arena_bytes plus one reduction's
+  /// worth of removals.
+  std::uint64_t wasted_bytes = 0;
+  /// Mark-compact garbage collections performed.
+  std::uint64_t gc_runs = 0;
+  // --- learnt-clause tiers as of the last reduce_db() run ----------------
+  std::uint64_t tier_core = 0;   ///< LBD <= 3: never removed
+  std::uint64_t tier_mid = 0;    ///< LBD in [4, 6]
+  std::uint64_t tier_local = 0;  ///< LBD > 6: first to be dropped
+  /// Learnt-clause budget in effect for the most recent solve() call;
+  /// rescaled against the current problem size on every solve.
+  double max_learnts = 0.0;
 };
 
 /// Incremental CDCL solver with assumptions and UNSAT-core extraction.
@@ -80,14 +132,16 @@ class Solver {
 
   /// Add a clause. Returns false if the formula became trivially
   /// unsatisfiable (conflicting units at the root level).
-  bool add_clause(Clause clause);
+  bool add_clause(const Clause& clause);
   /// Add every clause of a CNF formula.
   bool add_formula(const CnfFormula& formula);
 
   /// Solve under the given assumptions. kUnknown only when a budget or
   /// deadline interrupts the search.
   Result solve(const std::vector<Lit>& assumptions = {});
-  /// Solve with a wall-clock deadline (checked periodically).
+  /// Solve with a wall-clock deadline, polled both on conflicts and on a
+  /// decision/propagation counter so that conflict-light (pure
+  /// propagation) solves are interruptible too.
   Result solve(const std::vector<Lit>& assumptions,
                const util::Deadline& deadline);
 
@@ -103,20 +157,61 @@ class Solver {
   /// unassigned at level 0). Useful after unit propagation.
   LBool fixed_value(Lit l) const;
 
-  const SolverStats& stats() const { return stats_; }
+  const SolverStats& stats() const;
   SolverOptions& options() { return options_; }
 
  private:
-  using ClauseRef = std::int32_t;
-  static constexpr ClauseRef kNoReason = -1;
+  /// Word offset of a clause record in the arena.
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = 0xffffffffu;
 
-  struct ClauseData {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learnt = false;
-    bool removed = false;
-  };
+  // --- arena clause record layout ---------------------------------------
+  // [header]([lbd][activity] if learnt)[lit0]...[litN-1];
+  // header = size<<3 | flags.
+  static constexpr std::uint32_t kLearntBit = 1u;
+  static constexpr std::uint32_t kMarkBit = 2u;   // removed, awaiting GC
+  static constexpr std::uint32_t kRelocBit = 4u;  // forwarded during GC
+  static constexpr std::uint32_t kSizeShift = 3;
+  // LBD tier boundaries (Glucose: "core" clauses are kept forever).
+  static constexpr std::uint32_t kCoreLbd = 3;
+  static constexpr std::uint32_t kMidLbd = 6;
+  // Deadline poll interval in decisions + propagations.
+  static constexpr std::uint64_t kDeadlinePollInterval = 4096;
+  // Watcher cref tag marking a binary clause (top bit; arena offsets are
+  // therefore limited to 2^31 words, i.e. 8 GiB of clauses).
+  static constexpr ClauseRef kBinaryTag = 0x80000000u;
 
+  std::uint32_t clause_size(ClauseRef c) const {
+    return arena_[c] >> kSizeShift;
+  }
+  bool clause_learnt(ClauseRef c) const {
+    return (arena_[c] & kLearntBit) != 0;
+  }
+  bool clause_removed(ClauseRef c) const {
+    return (arena_[c] & kMarkBit) != 0;
+  }
+  /// Word offset of the first literal: learnt records carry two extra
+  /// header words (lbd, activity) that problem clauses do without.
+  std::uint32_t lit_base(ClauseRef c) const {
+    return c + 1 + ((arena_[c] & kLearntBit) << 1);
+  }
+  std::uint32_t record_words(ClauseRef c) const {
+    return 1 + ((arena_[c] & kLearntBit) << 1) + clause_size(c);
+  }
+  // lbd / activity slots exist on learnt clauses only.
+  std::uint32_t clause_lbd(ClauseRef c) const { return arena_[c + 1]; }
+  void set_clause_lbd(ClauseRef c, std::uint32_t lbd) { arena_[c + 1] = lbd; }
+  float clause_activity(ClauseRef c) const;
+  void set_clause_activity(ClauseRef c, float activity);
+  Lit clause_lit(ClauseRef c, std::uint32_t i) const {
+    return Lit::from_code(static_cast<std::int32_t>(arena_[lit_base(c) + i]));
+  }
+
+  /// Watch-list entry. For clauses of size >= 3 `blocker` is some other
+  /// literal of the clause whose being true lets propagation skip the
+  /// arena lookup. For binary clauses `cref` carries kBinaryTag and
+  /// `blocker` IS the implied literal, so propagation decides
+  /// satisfied/unit/conflict without reading the arena at all.
   struct Watcher {
     ClauseRef cref;
     Lit blocker;
@@ -175,14 +270,22 @@ class Solver {
   bool literal_redundant(Lit p, std::uint32_t abstract_levels);
   void analyze_final(Lit p, std::vector<Lit>& out_core);
   Lit pick_branch_lit();
-  ClauseRef attach_new_clause(std::vector<Lit> lits, bool learnt);
+  ClauseRef attach_new_clause(const std::vector<Lit>& lits, bool learnt,
+                              std::uint32_t lbd);
   void attach_watches(ClauseRef cref);
   void detach_watches(ClauseRef cref);
+  void remove_clause(ClauseRef cref);
   void reduce_db();
+  void maybe_garbage_collect();
+  void garbage_collect();
+  template <typename LitAt>
+  std::uint32_t lbd_of(std::uint32_t size, LitAt lit_at);
+  std::uint32_t lbd_of_lits(const std::vector<Lit>& lits);
+  std::uint32_t lbd_of_clause(ClauseRef cref);
   bool clause_locked(ClauseRef cref) const;
   void var_bump_activity(Var v);
   void var_decay_activity();
-  void clause_bump_activity(ClauseData& c);
+  void clause_bump_activity(ClauseRef cref);
   void clause_decay_activity();
   Result search_loop(const std::vector<Lit>& assumptions,
                      const util::Deadline* deadline);
@@ -192,7 +295,10 @@ class Solver {
   SolverOptions options_;
   util::Rng rng_;
 
-  std::vector<ClauseData> clauses_;
+  /// Flat clause arena; every ClauseRef is a word offset into it.
+  std::vector<std::uint32_t> arena_;
+  /// Words occupied by removed (marked) clause records; drives the GC.
+  std::size_t wasted_ = 0;
   std::vector<ClauseRef> problem_clauses_;
   std::vector<ClauseRef> learnt_clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
@@ -211,13 +317,20 @@ class Solver {
 
   std::vector<std::uint8_t> seen_;
   std::vector<Lit> analyze_stack_;
+  // Scratch buffer for add_clause normalization (avoids a heap
+  // allocation per added clause — MaxSAT relaxation adds thousands).
+  std::vector<Lit> add_tmp_;
+  // Scratch stamps for LBD computation, indexed by decision level.
+  std::vector<std::uint64_t> lbd_stamp_;
+  std::uint64_t lbd_stamp_counter_ = 0;
 
   bool ok_ = true;
   double max_learnts_ = 0.0;
 
   Assignment model_;
   std::vector<Lit> core_;
-  SolverStats stats_;
+  // Mutable so stats() can refresh the arena-usage snapshot fields.
+  mutable SolverStats stats_;
 };
 
 }  // namespace manthan::sat

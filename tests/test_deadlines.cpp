@@ -52,6 +52,31 @@ TEST(Deadlines, SolverReturnsUnknownNotWrongAnswer) {
   EXPECT_NE(r2, sat::Result::kUnknown);
 }
 
+TEST(Deadlines, PurePropagationSolveHonoursDeadline) {
+  // Regression: the deadline used to be polled only on conflicts, so a
+  // conflict-free solve (pure unit propagation) ran to completion no
+  // matter how tight the budget. Implication chains rooted in unit
+  // clauses produce tens of thousands of propagations and zero
+  // conflicts; with an already-expired deadline the solver must now
+  // return kUnknown instead of kSat.
+  sat::Solver s;
+  const int chains = 10;
+  const int length = 1000;
+  for (int c = 0; c < chains; ++c) {
+    const Var base = static_cast<Var>(c * length);
+    for (int i = 0; i + 1 < length; ++i) {
+      s.add_clause({cnf::neg(base + i), cnf::pos(base + i + 1)});
+    }
+  }
+  for (int c = 0; c < chains; ++c) {
+    s.add_clause({cnf::pos(static_cast<Var>(c * length))});
+  }
+  const util::Deadline deadline(1e-9);
+  EXPECT_EQ(s.solve({}, deadline), sat::Result::kUnknown);
+  // Without a deadline the same solver finishes and the model is total.
+  EXPECT_EQ(s.solve({}), sat::Result::kSat);
+}
+
 TEST(Deadlines, MaxSatHonoursDeadline) {
   maxsat::MaxSatSolver ms;
   const CnfFormula f = hard_random_3sat(120, 3);

@@ -65,26 +65,65 @@ TEST(Sampler, CoversBothPolaritiesOfFreeVariable) {
 }
 
 TEST(Sampler, AdaptiveBiasFollowsSkew) {
-  // y (var 2) is forced equal to x0 | x1 — models mostly have y = 1; the
-  // adaptive stage should not *reduce* coverage of the skewed value.
-  CnfFormula f(3);
-  f.add_clause({neg(2), pos(0), pos(1)});
-  f.add_clause({pos(2), neg(0)});
-  f.add_clause({pos(2), neg(1)});
+  // y (var 8) equals x0 | x1; six further free variables keep the model
+  // count high. Models mostly have y = 1, and the adaptive stage should
+  // not *reduce* coverage of the skewed value.
+  CnfFormula f(9);
+  f.add_clause({neg(8), pos(0), pos(1)});
+  f.add_clause({pos(8), neg(0)});
+  f.add_clause({pos(8), neg(1)});
   SamplerOptions options;
   options.num_samples = 200;
   options.adaptive = true;
   options.probe_samples = 40;
   Sampler sampler(options);
-  const std::vector<Assignment> samples = sampler.sample(f, {2});
+  const std::vector<Assignment> samples = sampler.sample(f, {8});
   ASSERT_GT(samples.size(), 50u);
   std::size_t y_true = 0;
   for (const Assignment& a : samples) {
     EXPECT_TRUE(f.satisfied_by(a));
-    if (a.value(cnf::Var{2})) ++y_true;
+    if (a.value(cnf::Var{8})) ++y_true;
   }
   // 3 of 4 (x0,x1) combinations force y=1.
   EXPECT_GT(y_true * 2, samples.size());
+}
+
+TEST(Sampler, SamplesArePairwiseDistinct) {
+  // Only 4 models exist ((x0,x1) free, y = x0 | x1): requesting far more
+  // must return each model at most once instead of repeats.
+  CnfFormula f(3);
+  f.add_clause({neg(2), pos(0), pos(1)});
+  f.add_clause({pos(2), neg(0)});
+  f.add_clause({pos(2), neg(1)});
+  SamplerOptions options;
+  options.num_samples = 64;
+  Sampler sampler(options);
+  const std::vector<Assignment> samples = sampler.sample(f, {2});
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), 4u);
+  std::set<std::vector<bool>> distinct;
+  for (const Assignment& a : samples) {
+    EXPECT_TRUE(f.satisfied_by(a));
+    EXPECT_TRUE(distinct.insert(a.bits()).second)
+        << "duplicate model returned";
+  }
+}
+
+TEST(Sampler, DistinctSamplesAcrossProbeAndMainRounds) {
+  // Adaptive mode draws in two rounds (probe + biased main) with
+  // different solvers; dedup must span both.
+  CnfFormula f(10);
+  f.add_clause({pos(0), pos(1)});
+  SamplerOptions options;
+  options.num_samples = 120;
+  options.adaptive = true;
+  options.probe_samples = 16;
+  Sampler sampler(options);
+  const std::vector<Assignment> samples = sampler.sample(f, {0, 1});
+  ASSERT_GT(samples.size(), 16u);  // main round actually topped up
+  std::set<std::vector<bool>> distinct;
+  for (const Assignment& a : samples) distinct.insert(a.bits());
+  EXPECT_EQ(distinct.size(), samples.size());
 }
 
 TEST(Sampler, RespectsSampleBudget) {

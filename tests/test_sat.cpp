@@ -276,5 +276,47 @@ TEST(SolverStats, CountsActivity) {
   EXPECT_GT(s.stats().propagations, 0u);
 }
 
+TEST(SolverStats, MaxLearntsRescalesWithIncrementalClauses) {
+  // Regression: the learnt budget was computed once from the problem size
+  // of the *first* solve and never again, so MaxSAT-style incremental
+  // clause additions ran with a budget sized for an almost-empty solver.
+  Solver s;
+  s.add_clause({pos(0), pos(1)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  const double initial = s.stats().max_learnts;
+  EXPECT_GE(initial, 1000.0);
+  // Grow the problem well past 3 * initial clauses between solves.
+  const int extra = 6000;
+  for (int i = 0; i < extra; ++i) {
+    const Var base = static_cast<Var>(2 + 3 * i);
+    s.add_clause({pos(base), pos(base + 1), pos(base + 2)});
+  }
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_GE(s.stats().max_learnts, static_cast<double>(extra) / 3.0);
+  EXPECT_GT(s.stats().max_learnts, initial);
+}
+
+TEST(SolverStats, ArenaReclaimsRemovedLearnts) {
+  // A hard unsatisfiable instance drives thousands of conflicts through
+  // clause learning and database reductions; removed learnt records must
+  // be garbage collected, keeping the wasted share of the arena bounded
+  // by the ~20% GC trigger (plus the single reduction that preceded it).
+  util::Rng rng(0xfeed);
+  Solver s;
+  const CnfFormula f = random_cnf({140, 640, 3}, rng);
+  if (!s.add_formula(f)) GTEST_SKIP() << "root-level conflict";
+  const Result r = s.solve();
+  EXPECT_EQ(r, Result::kUnsat);
+  const SolverStats& st = s.stats();
+  ASSERT_GT(st.db_reductions, 0u) << "instance too easy to exercise reduce_db";
+  EXPECT_GT(st.gc_runs, 0u);
+  // Post-reduction invariant: removals end with a GC check, so waste can
+  // never exceed the ~20% trigger share of the arena.
+  EXPECT_LE(st.wasted_bytes * 5, st.arena_bytes)
+      << "wasted=" << st.wasted_bytes << " arena=" << st.arena_bytes;
+  // LBD tier census was recorded by the last reduction.
+  EXPECT_GT(st.tier_core + st.tier_mid + st.tier_local, 0u);
+}
+
 }  // namespace
 }  // namespace manthan::sat

@@ -18,6 +18,7 @@
 #include "aig/aig.hpp"
 #include "core/manthan3.hpp"  // SynthesisResult / SynthesisStatus
 #include "dqbf/dqbf.hpp"
+#include "util/cancel.hpp"
 
 namespace manthan::baselines {
 
@@ -29,6 +30,10 @@ struct HqsLiteOptions {
   std::size_t max_bdd_nodes = 2000000;
   /// Wall-clock budget in seconds; 0 = unlimited.
   double time_limit_seconds = 0.0;
+  /// Cooperative stop flag composed into the internal Deadline (polled in
+  /// the expansion loop and the BDD node-limit callback). Null = not
+  /// cancellable; must outlive synthesize().
+  const util::CancelToken* cancel = nullptr;
 };
 
 class HqsLite {

@@ -18,7 +18,7 @@ PedantLite::PedantLite(PedantLiteOptions options) : options_(options) {}
 SynthesisResult PedantLite::synthesize(const dqbf::DqbfFormula& formula,
                                        aig::Aig& manager) {
   util::Timer total_timer;
-  const util::Deadline deadline(options_.time_limit_seconds);
+  const util::Deadline deadline(options_.time_limit_seconds, options_.cancel);
   SynthesisResult result;
   const auto finish = [&](SynthesisStatus status) {
     result.status = status;

@@ -20,6 +20,7 @@
 #include "core/manthan3.hpp"  // SynthesisResult / SynthesisStatus
 #include "core/unique_def.hpp"
 #include "dqbf/dqbf.hpp"
+#include "util/cancel.hpp"
 
 namespace manthan::baselines {
 
@@ -31,6 +32,10 @@ struct PedantLiteOptions {
   std::size_t max_table_entries = 50000;
   /// Wall-clock budget in seconds; 0 = unlimited.
   double time_limit_seconds = 0.0;
+  /// Cooperative stop flag composed into the internal Deadline (polled in
+  /// the counterexample loop and every SAT query). Null = not
+  /// cancellable; must outlive synthesize().
+  const util::CancelToken* cancel = nullptr;
 };
 
 class PedantLite {

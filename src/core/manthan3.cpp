@@ -29,7 +29,7 @@ Manthan3::Manthan3(Manthan3Options options) : options_(options) {}
 SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
                                      aig::Aig& manager) {
   util::Timer total_timer;
-  const util::Deadline deadline(options_.time_limit_seconds);
+  const util::Deadline deadline(options_.time_limit_seconds, options_.cancel);
   SynthesisResult result;
   SynthesisStats& stats = result.stats;
   const cnf::CnfFormula& matrix = formula.matrix();

@@ -24,6 +24,7 @@
 #include "dqbf/dqbf.hpp"
 #include "dtree/decision_tree.hpp"
 #include "sampler/sampler.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace manthan::core {
@@ -43,6 +44,11 @@ struct Manthan3Options {
   std::size_t max_counterexamples = 2000;
   /// Wall-clock budget in seconds; 0 = unlimited.
   double time_limit_seconds = 0.0;
+  /// Cooperative stop flag (composed into the internal Deadline, which
+  /// the SAT/MaxSAT/sampler layers poll): when cancelled mid-run the
+  /// engine returns kTimeout within a bounded number of decisions and
+  /// propagations. Null = not cancellable; must outlive synthesize().
+  const util::CancelToken* cancel = nullptr;
   std::uint64_t seed = 42;
 };
 

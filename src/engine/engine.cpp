@@ -1,0 +1,58 @@
+#include "engine/engine.hpp"
+
+#include "baselines/hqs_lite.hpp"
+#include "baselines/pedant_lite.hpp"
+
+namespace manthan::engine {
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kManthan3: return "Manthan3";
+    case EngineKind::kHqsLite: return "HqsLite";
+    case EngineKind::kPedantLite: return "PedantLite";
+  }
+  return "?";
+}
+
+const char* status_name(core::SynthesisStatus status) {
+  switch (status) {
+    case core::SynthesisStatus::kRealizable: return "realizable";
+    case core::SynthesisStatus::kUnrealizable: return "unrealizable";
+    case core::SynthesisStatus::kIncomplete: return "incomplete";
+    case core::SynthesisStatus::kLimit: return "limit";
+    case core::SynthesisStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+core::SynthesisResult run_engine(const dqbf::DqbfFormula& formula,
+                                 aig::Aig& manager, EngineKind kind,
+                                 const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kManthan3: {
+      core::Manthan3Options opts = options.manthan3;
+      opts.time_limit_seconds = options.time_limit_seconds;
+      opts.seed = options.seed;
+      opts.cancel = options.cancel;
+      core::Manthan3 synthesizer(opts);
+      return synthesizer.synthesize(formula, manager);
+    }
+    case EngineKind::kHqsLite: {
+      baselines::HqsLiteOptions opts;
+      opts.time_limit_seconds = options.time_limit_seconds;
+      opts.cancel = options.cancel;
+      baselines::HqsLite synthesizer(opts);
+      return synthesizer.synthesize(formula, manager);
+    }
+    case EngineKind::kPedantLite: {
+      baselines::PedantLiteOptions opts;
+      opts.time_limit_seconds = options.time_limit_seconds;
+      opts.cancel = options.cancel;
+      baselines::PedantLite synthesizer(opts);
+      return synthesizer.synthesize(formula, manager);
+    }
+  }
+  return {};
+}
+
+}  // namespace manthan::engine

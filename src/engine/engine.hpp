@@ -1,0 +1,49 @@
+// Cancellation-aware single-engine invocation — the common job body of
+// the parallel suite runner and the racing portfolio.
+//
+// This is the canonical home of EngineKind (the portfolio layer aliases
+// it for source compatibility): one enum naming the three synthesizers,
+// plus run_engine(), which packages "run this engine on this formula
+// under this budget/seed/token" as a self-contained, thread-safe unit of
+// work. Each call builds its own synthesizer (and the caller supplies a
+// private aig::Aig), so any number of run_engine() calls may execute
+// concurrently on scheduler workers.
+#pragma once
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+#include "core/manthan3.hpp"
+#include "dqbf/dqbf.hpp"
+#include "util/cancel.hpp"
+
+namespace manthan::engine {
+
+enum class EngineKind { kManthan3, kHqsLite, kPedantLite };
+
+const char* engine_name(EngineKind kind);
+const char* status_name(core::SynthesisStatus status);
+
+/// Budget, stream identity, and knobs for one engine run.
+struct EngineOptions {
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_limit_seconds = 0.0;
+  /// Seed for the engine's private RNG streams (Manthan3 only; the
+  /// baseline engines are deterministic). Derive per-job seeds with
+  /// util::derive_seed — see the contract in util/rng.hpp.
+  std::uint64_t seed = 42;
+  /// Cooperative stop flag composed into the engine's internal Deadline;
+  /// null means "not cancellable". Must outlive the run.
+  const util::CancelToken* cancel = nullptr;
+  /// Knobs forwarded to Manthan3 (its time/seed/cancel fields are
+  /// overridden by the ones above).
+  core::Manthan3Options manthan3;
+};
+
+/// Run one engine on one formula. Thread-safe: shares no mutable state
+/// with other calls; `manager` must be private to this call.
+core::SynthesisResult run_engine(const dqbf::DqbfFormula& formula,
+                                 aig::Aig& manager, EngineKind kind,
+                                 const EngineOptions& options);
+
+}  // namespace manthan::engine

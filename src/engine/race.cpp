@@ -1,0 +1,147 @@
+#include "engine/race.hpp"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "dqbf/certificate.hpp"
+#include "engine/scheduler.hpp"
+#include "util/cancel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::engine {
+
+namespace {
+
+/// Rebuild the cone of `root` (a ref in `src`) inside `dst`, reusing
+/// structural hashing of the destination. `node_map` maps src node index
+/// -> dst ref of the plain node and is shared across roots so common
+/// logic is imported once.
+aig::Ref import_cone(const aig::Aig& src, aig::Aig& dst, aig::Ref root,
+                     std::unordered_map<std::uint32_t, aig::Ref>& node_map) {
+  const auto translate = [&node_map](aig::Ref r) {
+    return node_map.at(aig::ref_node(r)) ^
+           (aig::ref_complemented(r) ? 1u : 0u);
+  };
+  for (const std::uint32_t idx : aig::cone_topo_order(src, root)) {
+    if (node_map.find(idx) != node_map.end()) continue;
+    const aig::Aig::Node& node = src.node(idx);
+    aig::Ref mapped;
+    if (idx == aig::ref_node(aig::kFalseRef)) {
+      mapped = aig::kFalseRef;
+    } else if (node.input_id >= 0) {
+      mapped = dst.input(node.input_id);
+    } else {
+      mapped = dst.and_gate(translate(node.fanin0), translate(node.fanin1));
+    }
+    node_map.emplace(idx, mapped);
+  }
+  return translate(root);
+}
+
+}  // namespace
+
+RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
+                 const RaceOptions& options) {
+  RaceOutcome outcome;
+  const std::size_t n = options.contenders.size();
+  outcome.lanes.resize(n);
+  if (n == 0) return outcome;
+
+  util::CancelToken cancel;
+  std::mutex finish_mutex;  // guards winner selection across lanes
+  std::vector<std::unique_ptr<aig::Aig>> managers(n);
+  std::vector<core::SynthesisResult> results(n);
+
+  {
+    Scheduler pool(n);
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(pool.submit([&, i]() {
+        util::Timer timer;
+        EngineOptions engine_options;
+        engine_options.time_limit_seconds = options.time_limit_seconds;
+        engine_options.seed = util::derive_seed(
+            options.seed,
+            static_cast<std::uint64_t>(options.contenders[i]), i);
+        engine_options.cancel = &cancel;
+        engine_options.manthan3 = options.manthan3;
+        managers[i] = std::make_unique<aig::Aig>();
+        core::SynthesisResult result = run_engine(
+            formula, *managers[i], options.contenders[i], engine_options);
+
+        RaceLane& lane = outcome.lanes[i];
+        lane.engine = options.contenders[i];
+        lane.status = result.status;
+        lane.stats = result.stats;
+        lane.seconds = timer.seconds();
+        if (result.status == core::SynthesisStatus::kRealizable) {
+          const dqbf::CertificateResult cert = dqbf::check_certificate(
+              formula, *managers[i], result.vector);
+          lane.certified = cert.status == dqbf::CertificateStatus::kValid;
+        }
+        const bool definitive =
+            lane.certified ||
+            result.status == core::SynthesisStatus::kUnrealizable;
+
+        const std::lock_guard<std::mutex> lock(finish_mutex);
+        results[i] = std::move(result);
+        if (definitive && outcome.winner < 0) {
+          outcome.winner = static_cast<int>(i);
+          lane.winner = true;
+          cancel.cancel();  // stop the losing lanes at their next poll
+        } else if (cancel.cancelled() &&
+                   lane.status == core::SynthesisStatus::kTimeout) {
+          // Truncated by the token, not a natural completion. (A lane
+          // whose own time budget expired in the instant after the win
+          // is indistinguishable and also counted; a lane that finished
+          // with a real verdict is not.)
+          lane.cancelled = true;
+        }
+      }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  }
+
+  if (outcome.winner >= 0) {
+    const std::size_t w = static_cast<std::size_t>(outcome.winner);
+    outcome.status = outcome.lanes[w].status;
+    outcome.certified = outcome.lanes[w].certified;
+    if (outcome.status == core::SynthesisStatus::kRealizable) {
+      // Rebuild the winning functions in the caller's manager.
+      std::unordered_map<std::uint32_t, aig::Ref> node_map;
+      outcome.vector.functions.reserve(results[w].vector.functions.size());
+      for (const aig::Ref f : results[w].vector.functions) {
+        outcome.vector.functions.push_back(
+            import_cone(*managers[w], manager, f, node_map));
+      }
+    }
+    return outcome;
+  }
+
+  // No definitive lane: summarize the failure mode. Incompleteness
+  // dominates (a budget would not have helped), then iteration limits,
+  // then genuine timeouts; an uncertified kRealizable claim counts as
+  // incompleteness (the engine finished but produced an invalid vector).
+  const auto rank = [](core::SynthesisStatus s) {
+    switch (s) {
+      case core::SynthesisStatus::kIncomplete: return 0;
+      case core::SynthesisStatus::kRealizable: return 0;  // uncertified
+      case core::SynthesisStatus::kLimit: return 1;
+      default: return 2;  // kTimeout
+    }
+  };
+  outcome.status = core::SynthesisStatus::kTimeout;
+  for (const RaceLane& lane : outcome.lanes) {
+    if (rank(lane.status) >= rank(outcome.status)) continue;
+    outcome.status = lane.status == core::SynthesisStatus::kRealizable
+                         ? core::SynthesisStatus::kIncomplete
+                         : lane.status;
+  }
+  return outcome;
+}
+
+}  // namespace manthan::engine

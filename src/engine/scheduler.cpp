@@ -1,0 +1,36 @@
+#include "engine/scheduler.hpp"
+
+namespace manthan::engine {
+
+Scheduler::Scheduler(std::size_t workers) {
+  const std::size_t count = workers == 0 ? 1 : workers;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace manthan::engine

@@ -2,40 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <map>
+#include <thread>
 
-#include "baselines/hqs_lite.hpp"
-#include "baselines/pedant_lite.hpp"
 #include "dqbf/certificate.hpp"
+#include "engine/scheduler.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace manthan::portfolio {
 
-const char* engine_name(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kManthan3: return "Manthan3";
-    case EngineKind::kHqsLite: return "HqsLite";
-    case EngineKind::kPedantLite: return "PedantLite";
-  }
-  return "?";
-}
-
-const char* status_name(core::SynthesisStatus status) {
-  switch (status) {
-    case core::SynthesisStatus::kRealizable: return "realizable";
-    case core::SynthesisStatus::kUnrealizable: return "unrealizable";
-    case core::SynthesisStatus::kIncomplete: return "incomplete";
-    case core::SynthesisStatus::kLimit: return "limit";
-    case core::SynthesisStatus::kTimeout: return "timeout";
-  }
-  return "?";
-}
-
 Runner::Runner(RunnerOptions options) : options_(options) {}
 
 RunRecord Runner::run_one(const workloads::Instance& instance,
-                          EngineKind engine) {
+                          EngineKind engine) const {
   RunRecord record;
   record.instance = instance.name;
   record.family = instance.family;
@@ -43,31 +25,16 @@ RunRecord Runner::run_one(const workloads::Instance& instance,
 
   aig::Aig manager;
   util::Timer timer;
-  core::SynthesisResult result;
-  switch (engine) {
-    case EngineKind::kManthan3: {
-      core::Manthan3Options opts = options_.manthan3;
-      opts.time_limit_seconds = options_.per_instance_seconds;
-      opts.seed = options_.seed;
-      core::Manthan3 synthesizer(opts);
-      result = synthesizer.synthesize(instance.formula, manager);
-      break;
-    }
-    case EngineKind::kHqsLite: {
-      baselines::HqsLiteOptions opts;
-      opts.time_limit_seconds = options_.per_instance_seconds;
-      baselines::HqsLite synthesizer(opts);
-      result = synthesizer.synthesize(instance.formula, manager);
-      break;
-    }
-    case EngineKind::kPedantLite: {
-      baselines::PedantLiteOptions opts;
-      opts.time_limit_seconds = options_.per_instance_seconds;
-      baselines::PedantLite synthesizer(opts);
-      result = synthesizer.synthesize(instance.formula, manager);
-      break;
-    }
-  }
+  engine::EngineOptions engine_options;
+  engine_options.time_limit_seconds = options_.per_instance_seconds;
+  // Job-local stream: a function of the suite seed and the job identity
+  // only, so the parallel fan-out replays the serial run exactly.
+  engine_options.seed =
+      util::derive_seed(options_.seed, util::hash64(instance.name),
+                        static_cast<std::uint64_t>(engine));
+  engine_options.manthan3 = options_.manthan3;
+  const core::SynthesisResult result =
+      engine::run_engine(instance.formula, manager, engine, engine_options);
   record.seconds = timer.seconds();
   record.status = result.status;
   record.stats = result.stats;
@@ -81,7 +48,7 @@ RunRecord Runner::run_one(const workloads::Instance& instance,
 
 std::vector<RunRecord> Runner::run_suite(
     const std::vector<workloads::Instance>& suite,
-    const std::vector<EngineKind>& engines) {
+    const std::vector<EngineKind>& engines) const {
   std::vector<RunRecord> records;
   records.reserve(suite.size() * engines.size());
   for (const workloads::Instance& instance : suite) {
@@ -89,6 +56,38 @@ std::vector<RunRecord> Runner::run_suite(
       records.push_back(run_one(instance, engine));
     }
   }
+  return records;
+}
+
+std::vector<RunRecord> Runner::run_suite(
+    const std::vector<workloads::Instance>& suite,
+    const std::vector<EngineKind>& engines,
+    const ParallelOptions& parallel) const {
+  const std::size_t total = suite.size() * engines.size();
+  std::vector<RunRecord> records(total);
+  if (total == 0) return records;
+
+  std::size_t workers = parallel.workers != 0
+                            ? parallel.workers
+                            : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, total);
+
+  engine::Scheduler pool(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(total);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      // Slot addressing reproduces the serial instance-major order no
+      // matter which worker finishes first.
+      const std::size_t slot = i * engines.size() + e;
+      futures.push_back(pool.submit([this, &suite, &engines, &records, i, e,
+                                     slot]() {
+        records[slot] = run_one(suite[i], engines[e]);
+      }));
+    }
+  }
+  for (std::future<void>& f : futures) f.get();
   return records;
 }
 

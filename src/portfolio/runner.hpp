@@ -11,14 +11,16 @@
 #include <vector>
 
 #include "core/manthan3.hpp"
+#include "engine/engine.hpp"
 #include "workloads/workloads.hpp"
 
 namespace manthan::portfolio {
 
-enum class EngineKind { kManthan3, kHqsLite, kPedantLite };
-
-const char* engine_name(EngineKind kind);
-const char* status_name(core::SynthesisStatus status);
+// The engine identity and naming live in the execution-engine subsystem
+// (src/engine/); the portfolio layer re-exports them for its clients.
+using EngineKind = engine::EngineKind;
+using engine::engine_name;
+using engine::status_name;
 
 struct RunRecord {
   std::string instance;
@@ -42,20 +44,42 @@ struct RunnerOptions {
   double per_instance_seconds = 5.0;
   /// Options forwarded to Manthan3 (ablation benches override these).
   core::Manthan3Options manthan3;
+  /// Suite-level seed. Every (instance, engine) job derives its own
+  /// stream with util::derive_seed(seed, hash64(instance name), engine),
+  /// so parallel and serial runs draw identical randomness per job — see
+  /// the determinism contract in util/rng.hpp.
   std::uint64_t seed = 42;
+};
+
+/// Fan-out configuration for the parallel run_suite path.
+struct ParallelOptions {
+  /// Scheduler worker count; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
 };
 
 class Runner {
  public:
   explicit Runner(RunnerOptions options = {});
 
-  /// Run one engine on one instance and certify the result.
-  RunRecord run_one(const workloads::Instance& instance, EngineKind engine);
+  /// Run one engine on one instance and certify the result. Thread-safe:
+  /// only reads the runner's options.
+  RunRecord run_one(const workloads::Instance& instance,
+                    EngineKind engine) const;
 
-  /// Run every engine on every instance.
+  /// Run every engine on every instance, serially.
   std::vector<RunRecord> run_suite(
       const std::vector<workloads::Instance>& suite,
-      const std::vector<EngineKind>& engines);
+      const std::vector<EngineKind>& engines) const;
+
+  /// Fan the instance×engine jobs across a scheduler thread pool.
+  /// Records come back in the serial path's order (instance-major), and
+  /// the per-job seed derivation makes them identical to a serial run
+  /// (up to wall-clock fields and timing-dependent statuses — irrelevant
+  /// when budgets are comfortable).
+  std::vector<RunRecord> run_suite(
+      const std::vector<workloads::Instance>& suite,
+      const std::vector<EngineKind>& engines,
+      const ParallelOptions& parallel) const;
 
  private:
   RunnerOptions options_;

@@ -1,0 +1,39 @@
+// Cooperative cancellation for the parallel execution engine.
+//
+// A CancelToken is a single atomic flag shared between the party that
+// requests a stop (the racing portfolio, a shutdown path, a signal
+// handler) and the workers that must honour it. Workers never block on
+// the token; they poll it at their existing budget checkpoints. The
+// standard wiring is through util::Deadline: constructing a Deadline with
+// a token makes every expired() poll across the stack — the SAT solver's
+// decisions+propagations poll, the Manthan3 verify/repair loop, the
+// baseline engines' outer loops, the sampler, MaxSAT — also observe
+// cancellation, with no extra plumbing at the call sites.
+#pragma once
+
+#include <atomic>
+
+namespace manthan::util {
+
+/// Thread-safe cancellation flag. cancel() is sticky: once set, every
+/// subsequent cancelled() poll (from any thread) returns true until
+/// reset(). All operations are lock-free.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  // The flag is the identity of the token; copying would silently split
+  // cancellation into two independent flags.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+
+  /// Re-arm the token for reuse (only safe once no worker polls it).
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace manthan::util

@@ -1,11 +1,23 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace manthan::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// The level is read on every log call, possibly from many scheduler
+// workers at once; atomic keeps the check race-free (relaxed is enough —
+// the threshold is advisory, not a synchronization point).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink writes so concurrent workers never interleave
+// characters of two messages within one line.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +31,14 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

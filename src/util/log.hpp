@@ -1,5 +1,9 @@
 // Minimal leveled logging. Engines log progress at Debug level; the
 // portfolio harness raises the level to keep benchmark output clean.
+//
+// Thread safety: log()/log_line() may be called concurrently from
+// scheduler workers — sink writes are serialized by a mutex, so lines
+// never interleave mid-message. set_log_level()/log_level() are atomic.
 #pragma once
 
 #include <sstream>

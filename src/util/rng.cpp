@@ -4,22 +4,42 @@ namespace manthan::util {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt_a,
+                          std::uint64_t salt_b) {
+  std::uint64_t h = splitmix64(base);
+  h = splitmix64(h ^ salt_a);
+  h = splitmix64(h ^ salt_b);
+  return h;
+}
+
 Rng::Rng(std::uint64_t seed) {
   // Seed the full 256-bit state from a splitmix64 stream, as recommended by
   // the xoshiro authors; guarantees a non-zero state for any seed.
-  for (auto& s : s_) s = splitmix64(seed);
+  std::uint64_t state = seed;
+  for (auto& s : s_) {
+    s = splitmix64(state);
+    state += 0x9e3779b97f4a7c15ULL;
+  }
 }
 
 std::uint64_t Rng::next() {

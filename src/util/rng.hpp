@@ -3,11 +3,42 @@
 // All stochastic components of the library (sampler, workload generators,
 // decision-tree tie-breaking) draw from this generator so that every run is
 // reproducible from a single 64-bit seed.
+//
+// Determinism contract (parallel execution engine):
+//   * Rng holds no global or shared mutable state — every instance is a
+//     self-contained 256-bit stream. Distinct instances may be used from
+//     distinct threads concurrently; a single instance is NOT thread-safe
+//     and must never be shared across scheduler workers.
+//   * Every scheduled job derives its own seed with derive_seed() from
+//     (base seed, stable job identity) — e.g. the portfolio runner uses
+//     (suite seed, hash64(instance name), engine index) — and constructs
+//     its own Rng (or engine, which constructs one) from that seed. The
+//     derived stream depends only on those inputs, never on thread
+//     interleaving, so a parallel run draws exactly the random sequences
+//     of the serial run, job by job.
+//   * hash64() and splitmix64() are fixed functions of their inputs
+//     (FNV-1a and SplitMix64); derived seeds are stable across platforms,
+//     worker counts, and runs.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace manthan::util {
+
+/// SplitMix64 output function (Steele, Lea & Flood): a high-quality
+/// 64-bit mixer. Pure — no internal state.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// FNV-1a 64-bit hash of a byte string; stable across platforms/runs.
+/// Used to fold textual job identity (instance names) into seeds.
+std::uint64_t hash64(std::string_view s);
+
+/// Derive an independent stream seed from a base seed and up to two
+/// salt words by chaining splitmix64 over the concatenation. Equal
+/// inputs give equal seeds; any differing word decorrelates the stream.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt_a,
+                          std::uint64_t salt_b = 0);
 
 /// xoshiro256** by Blackman & Vigna: small state, excellent statistical
 /// quality, much faster than std::mt19937_64.

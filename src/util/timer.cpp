@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/cancel.hpp"
+
 namespace manthan::util {
 
 Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
@@ -13,13 +15,19 @@ double Timer::seconds() const {
   return std::chrono::duration<double>(now - start_).count();
 }
 
-Deadline::Deadline(double limit_seconds) : limit_(limit_seconds) {}
+Deadline::Deadline(double limit_seconds, const CancelToken* cancel)
+    : limit_(limit_seconds), cancel_(cancel) {}
 
 bool Deadline::expired() const {
-  return limit_ > 0.0 && timer_.seconds() >= limit_;
+  return cancelled() || (limit_ > 0.0 && timer_.seconds() >= limit_);
+}
+
+bool Deadline::cancelled() const {
+  return cancel_ != nullptr && cancel_->cancelled();
 }
 
 double Deadline::remaining_seconds() const {
+  if (cancelled()) return 0.0;
   if (limit_ <= 0.0) return std::numeric_limits<double>::infinity();
   const double rem = limit_ - timer_.seconds();
   return rem > 0.0 ? rem : 0.0;

@@ -6,6 +6,8 @@
 
 namespace manthan::util {
 
+class CancelToken;
+
 /// Monotonic stopwatch.
 class Timer {
  public:
@@ -23,17 +25,28 @@ class Timer {
 
 /// A time budget: constructed with a limit in seconds; expired() becomes
 /// true once the limit is exceeded. A non-positive limit means "unlimited".
+///
+/// A Deadline optionally composes with a CancelToken: expired() then also
+/// returns true once the token is cancelled, so every deadline poll site
+/// in the stack doubles as a cancellation poll site. The token must
+/// outlive the Deadline; a null token means "time limit only".
 class Deadline {
  public:
-  explicit Deadline(double limit_seconds = 0.0);
+  explicit Deadline(double limit_seconds = 0.0,
+                    const CancelToken* cancel = nullptr);
 
   bool expired() const;
+  /// Seconds left on the time limit; 0 once cancelled, +inf when
+  /// unlimited and not cancelled.
   double remaining_seconds() const;
   double limit_seconds() const { return limit_; }
+  /// True iff an attached token has been cancelled (time limit aside).
+  bool cancelled() const;
 
  private:
   Timer timer_;
   double limit_;
+  const CancelToken* cancel_;
 };
 
 }  // namespace manthan::util

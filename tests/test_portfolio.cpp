@@ -135,6 +135,56 @@ TEST(Runner, RunsPaperExampleWithAllEngines) {
   }
 }
 
+TEST(Runner, ParallelSuiteMatchesSerialAtFixedSeed) {
+  // The determinism contract: every (instance, engine) job derives its
+  // RNG stream from (suite seed, instance name, engine) only, so the
+  // parallel fan-out must reproduce the serial records field for field
+  // (timing aside) — including Manthan3's sample/repair counters, which
+  // depend on every random draw.
+  std::vector<workloads::Instance> suite;
+  suite.push_back({"planted_a", "planted",
+                   workloads::gen_planted({8, 4, 3, 5, 30, 11})});
+  suite.push_back({"planted_b", "planted",
+                   workloads::gen_planted({10, 5, 4, 6, 40, 12})});
+  suite.push_back({"pec", "pec", workloads::gen_pec({8, 2, 2, 3, 12, 5})});
+  suite.push_back({"succinct", "succinct_sat",
+                   workloads::gen_succinct_sat({16, 3.2, 7})});
+  const std::vector<EngineKind> engines{
+      EngineKind::kManthan3, EngineKind::kHqsLite, EngineKind::kPedantLite};
+
+  RunnerOptions options;
+  options.per_instance_seconds = 60.0;  // comfortable: no timing-dependent paths
+  options.seed = 2024;
+  const Runner runner(options);
+  const std::vector<RunRecord> serial = runner.run_suite(suite, engines);
+  const std::vector<RunRecord> parallel =
+      runner.run_suite(suite, engines, ParallelOptions{4});
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].instance, parallel[i].instance) << i;
+    EXPECT_EQ(serial[i].family, parallel[i].family) << i;
+    EXPECT_EQ(serial[i].engine, parallel[i].engine) << i;
+    EXPECT_EQ(serial[i].status, parallel[i].status)
+        << serial[i].instance << " / " << engine_name(serial[i].engine);
+    EXPECT_EQ(serial[i].certified, parallel[i].certified) << i;
+    EXPECT_EQ(serial[i].stats.samples, parallel[i].stats.samples) << i;
+    EXPECT_EQ(serial[i].stats.counterexamples,
+              parallel[i].stats.counterexamples)
+        << i;
+    EXPECT_EQ(serial[i].stats.repairs, parallel[i].stats.repairs) << i;
+  }
+}
+
+TEST(Runner, ParallelSuiteHandlesEmptyInput) {
+  const Runner runner;
+  EXPECT_TRUE(runner.run_suite({}, {}, ParallelOptions{2}).empty());
+  EXPECT_TRUE(
+      runner
+          .run_suite({}, {EngineKind::kManthan3}, ParallelOptions{0})
+          .empty());
+}
+
 TEST(Tables, CactusOutputWellFormed) {
   std::ostringstream os;
   print_cactus(os, {"A", "B"}, {{0.5, 1.5}, {0.25}});

@@ -6,6 +6,7 @@
 
 #include "cnf/cnf.hpp"
 #include "sat/solver.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace manthan::sat {
@@ -316,6 +317,26 @@ TEST(SolverStats, ArenaReclaimsRemovedLearnts) {
       << "wasted=" << st.wasted_bytes << " arena=" << st.arena_bytes;
   // LBD tier census was recorded by the last reduction.
   EXPECT_GT(st.tier_core + st.tier_mid + st.tier_local, 0u);
+}
+
+TEST(SolverCancel, TokenComposedIntoDeadlineStopsSolve) {
+  // The CancelToken rides on the same decisions+propagations poll as the
+  // wall-clock deadline: a cancelled token must stop the solve with
+  // kUnknown after at most one poll interval of extra work, and leave
+  // the solver reusable.
+  util::Rng rng(7);
+  Solver s;
+  const CnfFormula f = random_cnf({60, 250, 3}, rng);
+  if (!s.add_formula(f)) GTEST_SKIP() << "root-level conflict";
+  util::CancelToken token;
+  token.cancel();
+  const util::Deadline deadline(0.0, &token);
+  const std::uint64_t before = s.stats().decisions + s.stats().propagations;
+  EXPECT_EQ(s.solve({}, deadline), Result::kUnknown);
+  EXPECT_LT(s.stats().decisions + s.stats().propagations - before, 10000u);
+  token.reset();
+  const util::Deadline fresh(0.0, &token);
+  EXPECT_NE(s.solve({}, fresh), Result::kUnknown);
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// Core synthesis-pipeline micro-benchmark: per-round verify latency and
+// whole-run verify/repair throughput of the persistent incremental
+// pipeline against the from-scratch re-encode oracle
+// (Manthan3Options::incremental = false — the pre-refactor *cost
+// structure*: fresh solvers and full re-encoding per round; seeding now
+// flows through derive_seed streams on both sides), the incremental
+// MaxSAT round against a fresh Fu-Malik solver per counterexample, and
+// candidate-learning scaling across scheduler workers.
+//
+// The headline series is BM_Pipeline*: the same multi-round planted/pec
+// instances run through both pipelines — the incremental one re-encodes
+// only repaired cones and keeps all solver state warm, so its per-round
+// cost is O(changed cones) instead of O(formula). The committed
+// BENCH_core.json snapshot shows ≥2x end-to-end on every multi-round
+// instance (7-9x on the counterexample-heavy ones).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/manthan3.hpp"
+#include "dqbf/certificate.hpp"
+#include "dqbf/incremental_refutation.hpp"
+#include "maxsat/maxsat.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using manthan::core::Manthan3;
+using manthan::core::Manthan3Options;
+using manthan::core::SynthesisResult;
+
+double host_cores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1.0 : static_cast<double>(n);
+}
+
+/// Nested-dependency planted instance that drives a long verify/repair
+/// loop (hundreds of counterexamples at the capped budget).
+manthan::dqbf::DqbfFormula multi_round_planted() {
+  manthan::workloads::PlantedParams params;
+  params.num_universals = 12;
+  params.num_existentials = 6;
+  params.dep_size = 4;
+  params.function_gates = 6;
+  params.num_clauses = 80;
+  params.seed = 7;
+  params.nested_deps = true;
+  params.dep_size_max = 10;
+  return manthan::workloads::gen_planted(params);
+}
+
+/// Partial-equivalence-checking instance: repair-dominated (dozens of
+/// G_k queries and MaxSAT rounds per counterexample).
+manthan::dqbf::DqbfFormula repair_heavy_pec() {
+  return manthan::workloads::gen_pec({10, 4, 3, 4, 40, 3});
+}
+
+void run_pipeline(benchmark::State& state,
+                  const manthan::dqbf::DqbfFormula& formula,
+                  bool incremental) {
+  SynthesisResult last;
+  for (auto _ : state) {
+    manthan::aig::Aig manager;
+    Manthan3Options options;
+    options.time_limit_seconds = 120.0;
+    options.max_counterexamples = 300;
+    options.incremental = incremental;
+    options.seed = 42;
+    last = Manthan3(options).synthesize(formula, manager);
+    benchmark::DoNotOptimize(last.status);
+  }
+  state.counters["counterexamples"] =
+      static_cast<double>(last.stats.counterexamples);
+  state.counters["repairs"] = static_cast<double>(last.stats.repairs);
+  state.counters["cones_reused"] =
+      static_cast<double>(last.stats.cones_reused);
+  state.counters["activations_retired"] =
+      static_cast<double>(last.stats.activations_retired);
+}
+
+void BM_PipelineIncrementalPlanted(benchmark::State& state) {
+  const auto f = multi_round_planted();
+  run_pipeline(state, f, /*incremental=*/true);
+}
+BENCHMARK(BM_PipelineIncrementalPlanted)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineRebuildPlanted(benchmark::State& state) {
+  const auto f = multi_round_planted();
+  run_pipeline(state, f, /*incremental=*/false);
+}
+BENCHMARK(BM_PipelineRebuildPlanted)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineIncrementalPec(benchmark::State& state) {
+  const auto f = repair_heavy_pec();
+  run_pipeline(state, f, /*incremental=*/true);
+}
+BENCHMARK(BM_PipelineIncrementalPec)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineRebuildPec(benchmark::State& state) {
+  const auto f = repair_heavy_pec();
+  run_pipeline(state, f, /*incremental=*/false);
+}
+BENCHMARK(BM_PipelineRebuildPec)->Unit(benchmark::kMillisecond);
+
+// --- isolated verify-round latency -----------------------------------------
+// A fixed repair-like mutation sweep over candidate vectors, verified
+// either through the persistent IncrementalRefutation or by re-encoding
+// build_refutation_cnf into a fresh solver every round.
+
+struct MutationSweep {
+  manthan::dqbf::DqbfFormula formula;
+  manthan::aig::Aig manager;
+  std::vector<manthan::dqbf::HenkinVector> rounds;
+};
+
+MutationSweep make_sweep(std::size_t num_rounds) {
+  MutationSweep sweep;
+  sweep.formula = multi_round_planted();
+  manthan::util::Rng rng(13);
+  const std::size_t m = sweep.formula.num_existentials();
+  manthan::dqbf::HenkinVector candidate;
+  candidate.functions.assign(m, manthan::aig::kFalseRef);
+  for (std::size_t r = 0; r < num_rounds; ++r) {
+    sweep.rounds.push_back(candidate);
+    const std::size_t k = rng.next_below(m);
+    const auto& deps = sweep.formula.existentials()[k].deps;
+    manthan::aig::Ref cube = manthan::aig::kTrueRef;
+    for (const manthan::cnf::Var x : deps) {
+      if (rng.flip()) continue;
+      manthan::aig::Ref in = sweep.manager.input(x);
+      if (rng.flip()) in = manthan::aig::ref_not(in);
+      cube = sweep.manager.and_gate(cube, in);
+    }
+    candidate.functions[k] =
+        rng.flip()
+            ? sweep.manager.and_gate(candidate.functions[k],
+                                     manthan::aig::ref_not(cube))
+            : sweep.manager.or_gate(candidate.functions[k], cube);
+  }
+  return sweep;
+}
+
+void BM_VerifyRoundsIncremental(benchmark::State& state) {
+  const MutationSweep sweep = make_sweep(64);
+  for (auto _ : state) {
+    manthan::dqbf::IncrementalRefutation verifier(sweep.formula,
+                                                  sweep.manager);
+    for (const auto& candidate : sweep.rounds) {
+      benchmark::DoNotOptimize(verifier.check(candidate));
+    }
+  }
+  state.counters["rounds"] = static_cast<double>(sweep.rounds.size());
+}
+BENCHMARK(BM_VerifyRoundsIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyRoundsRebuild(benchmark::State& state) {
+  const MutationSweep sweep = make_sweep(64);
+  for (auto _ : state) {
+    for (const auto& candidate : sweep.rounds) {
+      const manthan::cnf::CnfFormula refutation =
+          manthan::dqbf::build_refutation_cnf(sweep.formula, sweep.manager,
+                                              candidate);
+      manthan::sat::Solver solver;
+      if (solver.add_formula(refutation)) {
+        benchmark::DoNotOptimize(solver.solve());
+      }
+    }
+  }
+  state.counters["rounds"] = static_cast<double>(sweep.rounds.size());
+}
+BENCHMARK(BM_VerifyRoundsRebuild)->Unit(benchmark::kMillisecond);
+
+// --- MaxSAT round latency ---------------------------------------------------
+// The repair loop's FindCandi query: φ ∧ X-units hard, Y-units soft,
+// driven R rounds with varying polarities — incremental activation-scoped
+// rounds on one warm solver vs. a fresh Fu-Malik solver per round.
+
+void BM_MaxSatRoundsIncremental(benchmark::State& state) {
+  const auto formula = multi_round_planted();
+  const auto& matrix = formula.matrix();
+  for (auto _ : state) {
+    manthan::sat::Solver shared;
+    shared.add_formula(matrix);
+    manthan::maxsat::IncrementalMaxSat inc(shared);
+    manthan::util::Rng rng(5);
+    for (int round = 0; round < 32; ++round) {
+      std::vector<manthan::cnf::Lit> hard;
+      for (const manthan::cnf::Var x : formula.universals()) {
+        hard.push_back(manthan::cnf::Lit(x, rng.flip()));
+      }
+      std::vector<manthan::cnf::Lit> soft;
+      for (const auto& e : formula.existentials()) {
+        soft.push_back(manthan::cnf::Lit(e.var, rng.flip()));
+      }
+      benchmark::DoNotOptimize(inc.solve_round(hard, soft));
+    }
+  }
+}
+BENCHMARK(BM_MaxSatRoundsIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_MaxSatRoundsRebuild(benchmark::State& state) {
+  const auto formula = multi_round_planted();
+  const auto& matrix = formula.matrix();
+  for (auto _ : state) {
+    manthan::util::Rng rng(5);
+    for (int round = 0; round < 32; ++round) {
+      manthan::maxsat::MaxSatSolver fresh;
+      fresh.add_hard_formula(matrix);
+      for (const manthan::cnf::Var x : formula.universals()) {
+        fresh.add_hard({manthan::cnf::Lit(x, rng.flip())});
+      }
+      for (const auto& e : formula.existentials()) {
+        fresh.add_soft({manthan::cnf::Lit(e.var, rng.flip())});
+      }
+      benchmark::DoNotOptimize(fresh.solve());
+    }
+  }
+}
+BENCHMARK(BM_MaxSatRoundsRebuild)->Unit(benchmark::kMillisecond);
+
+// --- parallel candidate learning --------------------------------------------
+// Learning-dominated instance (many existentials, verify passes quickly):
+// decision-tree fitting fans across the scheduler; results are identical
+// at every worker count, so only wall-clock moves. CPU-bound — the
+// speedup follows physical cores (`cores` counter), as with the engine
+// benchmarks.
+
+void BM_LearnWorkers(benchmark::State& state) {
+  manthan::workloads::PlantedParams params;
+  params.num_universals = 20;
+  params.num_existentials = 16;
+  params.dep_size = 10;
+  params.function_gates = 6;
+  params.num_clauses = 120;
+  params.seed = 9;
+  params.xor_functions = false;
+  const auto formula = manthan::workloads::gen_planted(params);
+  SynthesisResult last;
+  for (auto _ : state) {
+    manthan::aig::Aig manager;
+    Manthan3Options options;
+    options.time_limit_seconds = 120.0;
+    options.learn_workers = static_cast<std::size_t>(state.range(0));
+    options.sampler.num_samples = 4096;
+    options.seed = 42;
+    last = Manthan3(options).synthesize(formula, manager);
+    benchmark::DoNotOptimize(last.status);
+  }
+  state.counters["workers"] = static_cast<double>(state.range(0));
+  state.counters["cores"] = host_cores();
+  state.counters["learning_ms"] = last.stats.learning_seconds * 1e3;
+}
+BENCHMARK(BM_LearnWorkers)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -170,6 +170,20 @@ int main(int argc, char** argv) {
             << result.stats.total_seconds << " s, "
             << result.stats.counterexamples << " counterexamples, "
             << result.stats.repairs << " repairs)\n";
+  if (cli.engine == "manthan3") {
+    // Incremental-pipeline accounting: how much encoding work the
+    // persistent solvers avoided and reclaimed across the run.
+    std::cout << "incremental: " << result.stats.cones_encoded
+              << " cones encoded, " << result.stats.cones_reused
+              << " reused, " << result.stats.aig_nodes_encoded
+              << " AIG nodes Tseitin'd, " << result.stats.activations_retired
+              << " activations retired\n"
+              << "solvers: verify " << result.stats.verify_vars << " vars / "
+              << result.stats.verify_clauses_retired
+              << " clauses retired, phi+maxsat " << result.stats.phi_vars
+              << " vars / " << result.stats.phi_clauses_retired
+              << " clauses retired\n";
+  }
   if (result.status == manthan::core::SynthesisStatus::kUnrealizable) {
     std::cout << "result: UNREALIZABLE\n";
     return 20;

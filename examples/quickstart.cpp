@@ -50,6 +50,12 @@ int main() {
             << result.stats.samples
             << " counterexamples=" << result.stats.counterexamples
             << " repairs=" << result.stats.repairs << "\n";
+  std::cout << "incremental pipeline: cones_encoded="
+            << result.stats.cones_encoded
+            << " cones_reused=" << result.stats.cones_reused
+            << " activations_retired=" << result.stats.activations_retired
+            << " verify_vars=" << result.stats.verify_vars
+            << " phi_vars=" << result.stats.phi_vars << "\n";
   for (std::size_t i = 0; i < result.vector.functions.size(); ++i) {
     const auto support = manager.support(result.vector.functions[i]);
     std::cout << "  y" << i + 1 << " = function of {";

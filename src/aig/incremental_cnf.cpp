@@ -1,0 +1,84 @@
+#include "aig/incremental_cnf.hpp"
+
+#include <utility>
+
+namespace manthan::aig {
+
+IncrementalCnfEncoder::IncrementalCnfEncoder(const Aig& aig, NewVarFn new_var,
+                                             EmitClauseFn emit)
+    : aig_(aig), new_var_(std::move(new_var)), emit_(std::move(emit)) {}
+
+void IncrementalCnfEncoder::map_input(std::int32_t input_id, cnf::Lit lit) {
+  input_map_[input_id] = lit;
+}
+
+cnf::Lit IncrementalCnfEncoder::input_literal(std::int32_t id) {
+  const auto it = input_map_.find(id);
+  if (it != input_map_.end()) return it->second;
+  return cnf::pos(static_cast<cnf::Var>(id));
+}
+
+void IncrementalCnfEncoder::emit(const cnf::Clause& clause) {
+  emit_(clause);
+  ++stats_.clauses_emitted;
+}
+
+cnf::Lit IncrementalCnfEncoder::encode(Ref root) {
+  ++stats_.encode_calls;
+  // Depth-first walk that stops at cached nodes, so only the fresh part
+  // of the cone is visited at all. A node is expanded (fanins pushed) on
+  // first visit and encoded once both fanins are cached.
+  walk_stack_.clear();
+  walk_stack_.push_back(ref_node(root));
+  while (!walk_stack_.empty()) {
+    const std::uint32_t n = walk_stack_.back();
+    if (lit_of_node_.count(n) != 0) {
+      ++stats_.nodes_reused;
+      walk_stack_.pop_back();
+      continue;
+    }
+    const Aig::Node& node = aig_.node(n);
+    if (n == 0) {
+      // Constant node: materialize a variable fixed to false on first use.
+      const cnf::Lit lit = cnf::pos(new_var_());
+      emit({~lit});
+      lit_of_node_.emplace(n, lit);
+      ++stats_.nodes_encoded;
+      walk_stack_.pop_back();
+      continue;
+    }
+    if (node.input_id >= 0) {
+      lit_of_node_.emplace(n, input_literal(node.input_id));
+      ++stats_.nodes_encoded;
+      walk_stack_.pop_back();
+      continue;
+    }
+    const auto it0 = lit_of_node_.find(ref_node(node.fanin0));
+    const auto it1 = lit_of_node_.find(ref_node(node.fanin1));
+    if (it0 == lit_of_node_.end() || it1 == lit_of_node_.end()) {
+      if (it0 == lit_of_node_.end()) {
+        walk_stack_.push_back(ref_node(node.fanin0));
+      } else {
+        ++stats_.nodes_reused;
+      }
+      if (it1 == lit_of_node_.end()) {
+        walk_stack_.push_back(ref_node(node.fanin1));
+      } else {
+        ++stats_.nodes_reused;
+      }
+      continue;
+    }
+    const cnf::Lit a = it0->second ^ ref_complemented(node.fanin0);
+    const cnf::Lit b = it1->second ^ ref_complemented(node.fanin1);
+    const cnf::Lit n_lit = cnf::pos(new_var_());
+    emit({~n_lit, a});
+    emit({~n_lit, b});
+    emit({~a, ~b, n_lit});
+    lit_of_node_.emplace(n, n_lit);
+    ++stats_.nodes_encoded;
+    walk_stack_.pop_back();
+  }
+  return lit_of_node_.at(ref_node(root)) ^ ref_complemented(root);
+}
+
+}  // namespace manthan::aig

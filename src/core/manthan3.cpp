@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
+#include <future>
+#include <optional>
 #include <unordered_map>
 
 #include "core/dependency.hpp"
 #include "dqbf/certificate.hpp"
+#include "dqbf/incremental_refutation.hpp"
 #include "maxsat/maxsat.hpp"
 #include "sat/solver.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/scheduler.hpp"
 
 namespace manthan::core {
 
@@ -21,6 +27,12 @@ using cnf::Var;
 Lit unit_lit(Var v, bool value) {
   return value ? cnf::pos(v) : cnf::neg(v);
 }
+
+// Salt words separating the engine's derived RNG streams (see the
+// determinism contract in util/rng.hpp): per-existential learning
+// streams and per-round verify-solver reseeds must never collide.
+constexpr std::uint64_t kLearnSalt = 0x4c4541524eULL;   // "LEARN"
+constexpr std::uint64_t kVerifySalt = 0x564552494659ULL;  // "VERIFY"
 
 }  // namespace
 
@@ -36,16 +48,42 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   const std::vector<dqbf::Existential>& ex = formula.existentials();
   const std::size_t m = ex.size();
 
+  // Persistent specification solver: extension checks (Algorithm 1,
+  // line 13), repair queries G_k (Algorithm 3, line 9), and — in the
+  // incremental pipeline — the per-counterexample MaxSAT rounds all run
+  // on it with assumptions, sharing one matrix encoding and one learnt
+  // clause database across the whole synthesis run.
+  sat::Solver phi_solver;
+  // Persistent verification solver (incremental pipeline): constructed
+  // once before the verify/repair loop, lives in this scope so finish()
+  // can snapshot its stats.
+  std::optional<dqbf::IncrementalRefutation> verifier;
+
   const auto finish = [&](SynthesisStatus status) {
     result.status = status;
     stats.total_seconds = total_timer.seconds();
+    const sat::SolverStats& phi_stats = phi_solver.stats();
+    stats.phi_vars = static_cast<std::size_t>(phi_stats.vars_allocated);
+    stats.phi_clauses_retired =
+        static_cast<std::size_t>(phi_stats.retired_clauses);
+    stats.activations_retired =
+        static_cast<std::size_t>(phi_stats.retired_activations);
+    if (verifier.has_value()) {
+      const dqbf::IncrementalRefutation::Stats& vstats = verifier->stats();
+      stats.cones_encoded = static_cast<std::size_t>(vstats.cones_encoded);
+      stats.cones_reused = static_cast<std::size_t>(vstats.cones_reused);
+      stats.aig_nodes_encoded =
+          static_cast<std::size_t>(vstats.aig_nodes_encoded);
+      stats.activations_retired +=
+          static_cast<std::size_t>(vstats.activations_retired);
+      const sat::SolverStats& vs = verifier->solver().stats();
+      stats.verify_vars = static_cast<std::size_t>(vs.vars_allocated);
+      stats.verify_clauses_retired =
+          static_cast<std::size_t>(vs.retired_clauses);
+    }
     return result;
   };
 
-  // Persistent specification solver: extension checks (Algorithm 1,
-  // line 13) and repair queries G_k (Algorithm 3, line 9) run on it with
-  // assumptions, sharing learnt clauses across the whole synthesis run.
-  sat::Solver phi_solver;
   if (!phi_solver.add_formula(matrix)) {
     // The matrix is unsatisfiable: no X-assignment extends, so the DQBF
     // is False (unless there are no universals either, still False).
@@ -109,43 +147,84 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   }
 
   // ---- Candidate learning (Algorithm 2) ---------------------------------
+  // Feature sets are pre-committed before any fitting so the fits are
+  // mutually independent (parallelizable): y_j is an admissible feature
+  // of y_i iff H_j ⊂ H_i strictly, or H_j == H_i and j < i. The fixed
+  // orientation of equal-dependency pairs keeps the feature relation
+  // acyclic without serializing feature selection on the learnt supports
+  // (the pre-refactor code admitted whichever direction was fitted
+  // first). Fitting itself is pure — rows, labels, and a derive_seed-split
+  // DtreeOptions stream per existential — so any worker count produces
+  // bit-identical trees; AIG construction and support recording stay
+  // serial in index order.
   phase_timer.reset();
+  const std::size_t learn_workers =
+      std::max<std::size_t>(1, options_.learn_workers);
+  stats.learn_workers = learn_workers;
+  std::vector<std::vector<Var>> feature_vars(m);
+  std::vector<std::vector<aig::Ref>> feature_refs(m);
+  std::vector<std::size_t> jobs;
+  jobs.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
     if (fixed[i]) continue;
-    // featset = H_i plus admissible existentials (H_j ⊆ H_i, no cycle).
-    std::vector<Var> feature_vars(ex[i].deps.begin(), ex[i].deps.end());
+    feature_vars[i].assign(ex[i].deps.begin(), ex[i].deps.end());
     for (std::size_t j = 0; j < m; ++j) {
-      if (j == i) continue;
-      if (formula.deps_subset(j, i) && dep.can_use(i, j)) {
-        feature_vars.push_back(ex[j].var);
+      if (j == i || !formula.deps_subset(j, i)) continue;
+      const bool strict = !formula.deps_equal(j, i);
+      if ((strict || j < i) && dep.can_use(i, j)) {
+        feature_vars[i].push_back(ex[j].var);
       }
     }
-    std::vector<aig::Ref> feature_refs;
-    feature_refs.reserve(feature_vars.size());
-    for (const Var v : feature_vars) feature_refs.push_back(manager.input(v));
+    feature_refs[i].reserve(feature_vars[i].size());
+    for (const Var v : feature_vars[i]) {
+      feature_refs[i].push_back(manager.input(v));
+    }
+    jobs.push_back(i);
+  }
 
+  const auto fit_one = [&](std::size_t i) {
     std::vector<std::vector<bool>> rows;
     rows.reserve(samples.size());
     std::vector<bool> labels;
     labels.reserve(samples.size());
     for (const cnf::Assignment& s : samples) {
       std::vector<bool> row;
-      row.reserve(feature_vars.size());
-      for (const Var v : feature_vars) row.push_back(s.value(v));
+      row.reserve(feature_vars[i].size());
+      for (const Var v : feature_vars[i]) row.push_back(s.value(v));
       rows.push_back(std::move(row));
       labels.push_back(s.value(ex[i].var));
     }
-    const dtree::DecisionTree tree =
-        dtree::DecisionTree::fit(rows, labels, options_.dtree);
-    f[i] = tree.to_aig(manager, feature_refs);
-    ++stats.learned_candidates;
+    dtree::DtreeOptions dt = options_.dtree;
+    dt.seed = util::derive_seed(options_.seed, kLearnSalt, i);
+    return dtree::DecisionTree::fit(rows, labels, dt);
+  };
 
+  std::vector<dtree::DecisionTree> trees(m);
+  if (learn_workers > 1 && jobs.size() > 1) {
+    // The pool class lives in util precisely so this layer can use it;
+    // the engine module (which links against core) re-exports it as
+    // engine::Scheduler for the portfolio-facing clients.
+    util::Scheduler pool(std::min(learn_workers, jobs.size()));
+    std::vector<std::future<dtree::DecisionTree>> futures;
+    futures.reserve(jobs.size());
+    for (const std::size_t i : jobs) {
+      futures.push_back(pool.submit([&fit_one, i]() { return fit_one(i); }));
+    }
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      trees[jobs[k]] = futures[k].get();
+    }
+  } else {
+    for (const std::size_t i : jobs) trees[i] = fit_one(i);
+  }
+
+  for (const std::size_t i : jobs) {
+    f[i] = trees[i].to_aig(manager, feature_refs[i]);
+    ++stats.learned_candidates;
     // Record which existentials actually appear in the candidate
     // (Algorithm 2, lines 11-12).
     for (const std::int32_t id : manager.support(f[i])) {
       if (!formula.is_existential(static_cast<Var>(id))) continue;
-      const std::size_t j =
-          formula.existential_index(static_cast<Var>(id));
+      const std::size_t j = formula.existential_index(static_cast<Var>(id));
       if (dep.can_use(i, j)) dep.record_use(i, j);
     }
   }
@@ -173,6 +252,19 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   };
 
   // ---- Verify / repair loop (Algorithm 1, lines 9-18) --------------------
+  // The incremental pipeline keeps both oracles warm across rounds: the
+  // verify solver re-encodes only repaired cones (activation literals
+  // retire the stale output equivalences), and the MaxSAT rounds run as
+  // activation-scoped Fu-Malik sessions on the φ solver, whose matrix
+  // encoding and learnt clauses persist for the whole run.
+  if (options_.incremental) {
+    // Default solver options: the search RNG is reseeded from the round's
+    // derived stream before every check(), so a construction seed would
+    // never influence a solve.
+    verifier.emplace(formula, manager);
+  }
+  maxsat::IncrementalMaxSat repair_maxsat(phi_solver);
+
   // Consecutive counterexamples for which no candidate could be repaired;
   // a fresh verification round may produce a different (repairable)
   // counterexample, so incompleteness is only declared after several
@@ -186,21 +278,33 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     }
 
     phase_timer.reset();
-    dqbf::HenkinVector candidate{f};
-    const cnf::CnfFormula refutation =
-        dqbf::build_refutation_cnf(formula, manager, candidate);
-    sat::SolverOptions verify_options;
     // Vary the search seed per round so a stuck repair sees a different
     // counterexample next time instead of the same one forever.
-    verify_options.seed = options_.seed + 0x9e37 * (stats.counterexamples + 1);
-    verify_options.random_branch_freq = no_progress_rounds > 0 ? 0.1 : 0.0;
-    verify_options.random_polarity = no_progress_rounds > 0;
-    sat::Solver verify_solver(verify_options);
+    const std::uint64_t round_seed = util::derive_seed(
+        options_.seed, kVerifySalt, stats.counterexamples + 1);
+    const double round_branch_freq = no_progress_rounds > 0 ? 0.1 : 0.0;
+    const bool round_random_polarity = no_progress_rounds > 0;
     sat::Result verify_result;
-    if (!verify_solver.add_formula(refutation)) {
-      verify_result = sat::Result::kUnsat;
+    std::optional<sat::Solver> oneshot_solver;  // oracle mode: owns δ
+    if (options_.incremental) {
+      sat::Solver& verify_solver = verifier->solver();
+      verify_solver.reseed(round_seed);
+      verify_solver.options().random_branch_freq = round_branch_freq;
+      verify_solver.options().random_polarity = round_random_polarity;
+      verify_result = verifier->check(dqbf::HenkinVector{f}, deadline);
     } else {
-      verify_result = verify_solver.solve({}, deadline);
+      const cnf::CnfFormula refutation =
+          dqbf::build_refutation_cnf(formula, manager, dqbf::HenkinVector{f});
+      sat::SolverOptions verify_options;
+      verify_options.seed = round_seed;
+      verify_options.random_branch_freq = round_branch_freq;
+      verify_options.random_polarity = round_random_polarity;
+      oneshot_solver.emplace(verify_options);
+      if (!oneshot_solver->add_formula(refutation)) {
+        verify_result = sat::Result::kUnsat;
+      } else {
+        verify_result = oneshot_solver->solve({}, deadline);
+      }
     }
     stats.verify_seconds += phase_timer.seconds();
     if (verify_result == sat::Result::kUnknown) {
@@ -210,7 +314,8 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
 
     // δ: counterexample candidate-output assignment. Check whether δ[X]
     // extends to a model of φ at all (Algorithm 1, line 13).
-    const cnf::Assignment& delta = verify_solver.model();
+    const cnf::Assignment& delta =
+        options_.incremental ? verifier->model() : oneshot_solver->model();
     std::vector<Lit> x_assumptions;
     x_assumptions.reserve(formula.universals().size());
     for (const Var x : formula.universals()) {
@@ -234,16 +339,39 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     // ---- RepairHkF (Algorithm 3) ----------------------------------------
     phase_timer.reset();
     // FindCandi: MaxSAT with φ ∧ (X ↔ σ[X]) hard, (Y ↔ σ[Y']) soft.
-    maxsat::MaxSatSolver maxsat;
-    maxsat.add_hard_formula(matrix);
-    for (const Var x : formula.universals()) {
-      maxsat.add_hard({unit_lit(x, pi.value(x))});
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      maxsat.add_soft({unit_lit(ex[i].var, sigma_yp[i])});
-    }
     ++stats.maxsat_calls;
-    const maxsat::MaxSatStatus ms_status = maxsat.solve(&deadline);
+    maxsat::MaxSatStatus ms_status;
+    std::function<bool(std::size_t)> soft_satisfied;
+    std::optional<maxsat::MaxSatSolver> oneshot_maxsat;  // oracle mode
+    if (options_.incremental) {
+      std::vector<Lit> hard_units;
+      hard_units.reserve(formula.universals().size());
+      for (const Var x : formula.universals()) {
+        hard_units.push_back(unit_lit(x, pi.value(x)));
+      }
+      std::vector<Lit> soft_units;
+      soft_units.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        soft_units.push_back(unit_lit(ex[i].var, sigma_yp[i]));
+      }
+      ms_status = repair_maxsat.solve_round(hard_units, soft_units, &deadline);
+      soft_satisfied = [&](std::size_t i) {
+        return repair_maxsat.soft_satisfied(i);
+      };
+    } else {
+      oneshot_maxsat.emplace();
+      oneshot_maxsat->add_hard_formula(matrix);
+      for (const Var x : formula.universals()) {
+        oneshot_maxsat->add_hard({unit_lit(x, pi.value(x))});
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        oneshot_maxsat->add_soft({unit_lit(ex[i].var, sigma_yp[i])});
+      }
+      ms_status = oneshot_maxsat->solve(&deadline);
+      soft_satisfied = [&](std::size_t i) {
+        return oneshot_maxsat->soft_satisfied(i);
+      };
+    }
     if (ms_status == maxsat::MaxSatStatus::kUnknown) {
       return finish(SynthesisStatus::kTimeout);
     }
@@ -253,7 +381,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     }
     std::deque<std::size_t> queue;
     for (std::size_t i = 0; i < m; ++i) {
-      if (!maxsat.soft_satisfied(i)) queue.push_back(i);
+      if (!soft_satisfied(i)) queue.push_back(i);
     }
 
     std::vector<bool> processed(m, false);

@@ -49,6 +49,19 @@ struct Manthan3Options {
   /// engine returns kTimeout within a bounded number of decisions and
   /// propagations. Null = not cancellable; must outlive synthesize().
   const util::CancelToken* cancel = nullptr;
+  /// Workers for per-existential candidate learning: decision-tree
+  /// fitting fans across an engine::Scheduler pool. Fitting is pure and
+  /// each existential draws a util::derive_seed-split stream, so results
+  /// are bit-identical at every worker count. 1 = in-thread.
+  std::size_t learn_workers = 1;
+  /// Use the persistent incremental verify/repair pipeline (one
+  /// IncrementalRefutation verify solver for the whole run; the φ solver
+  /// shared with an activation-scoped MaxSAT). false = re-encode both
+  /// from scratch every round — kept as the differential-testing oracle
+  /// and benchmark baseline. (Seeding also moved to derive_seed streams,
+  /// so the oracle reproduces the old pipeline's *cost structure*, not
+  /// its exact pre-refactor search trajectories.)
+  bool incremental = true;
   std::uint64_t seed = 42;
 };
 
@@ -73,6 +86,29 @@ struct SynthesisStats {
   double verify_seconds = 0.0;
   double repair_seconds = 0.0;
   double total_seconds = 0.0;
+  // --- incremental-pipeline counters. The verify-solver block (cones,
+  // aig nodes, verify_*) is zero when incremental = false; learn_workers
+  // and the φ-solver fields are reported for every run — the persistent
+  // φ solver exists in both pipelines (the oracle just never retires
+  // anything on it). -------------------------------------------------------
+  /// Worker count used for candidate learning.
+  std::size_t learn_workers = 1;
+  /// Candidate output equivalences (re-)encoded into the verify solver.
+  std::size_t cones_encoded = 0;
+  /// Per-round candidates whose cached cone encoding was reused as-is.
+  std::size_t cones_reused = 0;
+  /// Fresh AIG nodes Tseitin-encoded by the verify solver's cone cache.
+  std::size_t aig_nodes_encoded = 0;
+  /// Activation guards retired across the verify and φ/MaxSAT solvers.
+  std::size_t activations_retired = 0;
+  /// Variables allocated in the persistent verify solver.
+  std::size_t verify_vars = 0;
+  /// Clause records reclaimed by retirement in the verify solver.
+  std::size_t verify_clauses_retired = 0;
+  /// Variables allocated in the shared φ/MaxSAT solver.
+  std::size_t phi_vars = 0;
+  /// Clause records reclaimed by retirement in the φ/MaxSAT solver.
+  std::size_t phi_clauses_retired = 0;
 };
 
 struct SynthesisResult {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "util/rng.hpp"
+
 namespace manthan::dtree {
 
 namespace {
@@ -59,12 +61,20 @@ std::int32_t DecisionTree::build(const std::vector<std::vector<bool>>& rows,
     return make_leaf(majority);
   }
 
-  // Choose the feature with the best Gini gain.
+  // Choose the feature with the best Gini gain. The scan order is rotated
+  // by the stream seed so exact gain ties (strict > keeps the first
+  // maximum) break differently per stream.
   const std::size_t num_features = rows[0].size();
   const double parent_impurity = gini(positives, total);
   double best_gain = options.min_gain;
   std::int32_t best_feature = -1;
-  for (std::size_t f = 0; f < num_features; ++f) {
+  const std::size_t start =
+      options.seed == 0 || num_features == 0
+          ? 0
+          : static_cast<std::size_t>(
+                util::splitmix64(options.seed + depth) % num_features);
+  for (std::size_t step = 0; step < num_features; ++step) {
+    const std::size_t f = (start + step) % num_features;
     std::size_t hi_total = 0;
     std::size_t hi_pos = 0;
     for (const std::uint32_t i : indices) {

@@ -22,6 +22,13 @@ struct DtreeOptions {
   std::size_t min_samples_split = 2;
   /// Minimum Gini gain required to accept a split.
   double min_gain = 1e-9;
+  /// Stream seed for split tie-breaking: the feature scan at each node is
+  /// rotated by splitmix64(seed + depth), so equal-gain splits resolve
+  /// differently (but deterministically) per stream. Manthan3 derives one
+  /// stream per existential with util::derive_seed, which keeps parallel
+  /// candidate learning bit-identical to serial. 0 keeps the natural
+  /// feature order.
+  std::uint64_t seed = 0;
 };
 
 /// A fitted tree. Node 0 is the root; leaves carry the predicted label.

@@ -5,6 +5,125 @@
 
 namespace manthan::maxsat {
 
+Var IncrementalMaxSat::fresh_round_var() {
+  if (round_vars_used_ < round_vars_.size()) {
+    return round_vars_[round_vars_used_++];
+  }
+  const Var v = solver_.new_var();
+  round_vars_.push_back(v);
+  ++round_vars_used_;
+  return v;
+}
+
+MaxSatStatus IncrementalMaxSat::solve_round(const std::vector<Lit>& hard,
+                                            const std::vector<Lit>& soft,
+                                            const util::Deadline* deadline) {
+  ++stats_.rounds;
+  cost_ = 0;
+  soft_value_.assign(soft.size(), false);
+  round_vars_used_ = 0;
+  // One activation guard scopes every clause this round adds.
+  const Lit round = cnf::pos(solver_.new_var());
+  std::vector<Lit> selector(soft.size());
+  // Working incarnation of each soft: the unit plus every relaxation
+  // literal granted so far (Fu-Malik accumulates them).
+  std::vector<Clause> working(soft.size());
+  for (std::size_t i = 0; i < soft.size(); ++i) {
+    selector[i] = cnf::pos(fresh_round_var());
+    working[i] = {soft[i]};
+    Clause incarnation = working[i];
+    incarnation.push_back(selector[i]);
+    solver_.add_clause_activated(incarnation, round);
+  }
+
+  MaxSatStatus status = MaxSatStatus::kUnknown;
+  std::vector<Lit> assumptions;
+  // Hard-only pre-check. With hards as assumptions an unsatisfiable hard
+  // part would otherwise keep producing cores that happen to mention soft
+  // selectors, relaxing forever; deciding it up front bounds the loop by
+  // the classic Fu-Malik argument (in the repair loop this query was just
+  // proven satisfiable by the extension check, so it is near-free).
+  assumptions.push_back(round);
+  assumptions.insert(assumptions.end(), hard.begin(), hard.end());
+  {
+    ++stats_.sat_calls;
+    const sat::Result result =
+        deadline != nullptr ? solver_.solve(assumptions, *deadline)
+                            : solver_.solve(assumptions);
+    if (result != sat::Result::kSat) {
+      solver_.retire(round);
+      return result == sat::Result::kUnknown
+                 ? MaxSatStatus::kUnknown
+                 : MaxSatStatus::kUnsatisfiableHard;
+    }
+  }
+  while (true) {
+    assumptions.clear();
+    assumptions.push_back(round);
+    assumptions.insert(assumptions.end(), hard.begin(), hard.end());
+    for (const Lit s : selector) assumptions.push_back(~s);
+    ++stats_.sat_calls;
+    const sat::Result result =
+        deadline != nullptr ? solver_.solve(assumptions, *deadline)
+                            : solver_.solve(assumptions);
+    if (result == sat::Result::kUnknown) {
+      status = MaxSatStatus::kUnknown;
+      break;
+    }
+    if (result == sat::Result::kSat) {
+      const Assignment& model = solver_.model();
+      for (std::size_t i = 0; i < soft.size(); ++i) {
+        soft_value_[i] = model.value(soft[i]);
+      }
+      status = MaxSatStatus::kOptimal;
+      break;
+    }
+    // UNSAT: the core is a subset of the assumptions. Soft selectors in it
+    // get Fu-Malik-relaxed; a core without any soft selector (hard units,
+    // the guard, or the borrowed clauses alone) means the hards conflict.
+    std::unordered_set<std::int32_t> core_codes;
+    for (const Lit a : solver_.core()) core_codes.insert(a.code());
+    std::vector<std::size_t> core_softs;
+    for (std::size_t i = 0; i < selector.size(); ++i) {
+      if (core_codes.count((~selector[i]).code()) != 0) {
+        core_softs.push_back(i);
+      }
+    }
+    if (core_softs.empty()) {
+      status = MaxSatStatus::kUnsatisfiableHard;
+      break;
+    }
+    ++cost_;
+    ++stats_.cores_relaxed;
+    std::vector<Lit> relax_vars;
+    relax_vars.reserve(core_softs.size());
+    for (const std::size_t i : core_softs) {
+      // Disable the old incarnation for the rest of the round ...
+      solver_.add_clause_activated({selector[i]}, round);
+      // ... and re-add it with one more relaxation literal and a fresh
+      // selector.
+      const Lit relax = cnf::pos(fresh_round_var());
+      relax_vars.push_back(relax);
+      working[i].push_back(relax);
+      const Lit fresh = cnf::pos(fresh_round_var());
+      Clause incarnation = working[i];
+      incarnation.push_back(fresh);
+      solver_.add_clause_activated(incarnation, round);
+      selector[i] = fresh;
+    }
+    // Pairwise at-most-one over the new relaxation variables.
+    for (std::size_t i = 0; i < relax_vars.size(); ++i) {
+      for (std::size_t j = i + 1; j < relax_vars.size(); ++j) {
+        solver_.add_clause_activated({~relax_vars[i], ~relax_vars[j]}, round);
+      }
+    }
+  }
+  // Retiring the guard reclaims every round-local clause (and any learnt
+  // clause that recorded it); matrix-level learnt clauses persist.
+  solver_.retire(round);
+  return status;
+}
+
 MaxSatSolver::MaxSatSolver() = default;
 
 void MaxSatSolver::ensure_vars(Var n) {

@@ -27,6 +27,71 @@ using cnf::Var;
 
 enum class MaxSatStatus { kOptimal, kUnsatisfiableHard, kUnknown };
 
+/// Round-scoped partial MaxSAT over a *shared persistent* SAT solver.
+///
+/// The repair loop solves one MaxSAT instance per counterexample whose
+/// hard part is always  φ ∧ (X ↔ π[X])  and whose soft part is always a
+/// set of unit literals (Y ↔ σ[Y']). MaxSatSolver would re-encode φ every
+/// round; this class instead borrows a solver that already holds φ (the
+/// engine's φ solver) and runs Fu-Malik *inside one activation scope*:
+///
+///   * hard X-units are plain assumptions — nothing is added for them;
+///   * each soft unit gets a selector clause (soft ∨ s), and every
+///     Fu-Malik artifact (selector clauses, relaxed copies, at-most-one
+///     constraints) is guarded by a single per-round activation literal;
+///   * when the round ends the guard is retired, so the borrowed solver
+///     keeps only φ plus whatever matrix-level clauses it learnt — those
+///     persist and speed up every later extension check, repair query,
+///     and MaxSAT round.
+class IncrementalMaxSat {
+ public:
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t sat_calls = 0;
+    /// Fu-Malik relaxation iterations summed over all rounds (== the sum
+    /// of the optima).
+    std::uint64_t cores_relaxed = 0;
+  };
+
+  /// `solver` must already contain the hard clauses and outlive the
+  /// object; it is returned to root level (with the round's machinery
+  /// retired) after every solve_round().
+  explicit IncrementalMaxSat(sat::Solver& solver) : solver_(solver) {}
+
+  /// Minimize the number of falsified `soft` unit literals subject to the
+  /// solver's clauses plus the `hard` unit assumptions.
+  MaxSatStatus solve_round(const std::vector<Lit>& hard,
+                           const std::vector<Lit>& soft,
+                           const util::Deadline* deadline = nullptr);
+
+  /// Minimum number of falsified softs; valid after kOptimal.
+  std::size_t cost() const { return cost_; }
+  /// Whether soft literal `index` holds in the optimum found by the last
+  /// solve_round().
+  bool soft_satisfied(std::size_t index) const { return soft_value_[index]; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  cnf::Var fresh_round_var();
+
+  sat::Solver& solver_;
+  std::vector<bool> soft_value_;
+  std::size_t cost_ = 0;
+  /// Round-local selector/relaxation variables, recycled across rounds:
+  /// after retire() every clause (and learnt clause) mentioning them is
+  /// gone — they all carried the round guard — so the variables are
+  /// completely unconstrained again. Without recycling the borrowed
+  /// solver's variable count grows by ~|softs| · iterations every round,
+  /// and per-solve O(num_vars) work (model extraction, GC root walks)
+  /// turns quadratic in the number of counterexamples. Only the round
+  /// guard itself is never recycled: its negation is asserted as a
+  /// permanent unit.
+  std::vector<Var> round_vars_;
+  std::size_t round_vars_used_ = 0;
+  Stats stats_;
+};
+
 class MaxSatSolver {
  public:
   MaxSatSolver();

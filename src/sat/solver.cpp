@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <unordered_set>
 
 namespace manthan::sat {
 
@@ -102,11 +103,24 @@ Var Solver::new_var() {
   return v;
 }
 
+Var Solver::reserve_vars(Var count) {
+  const Var first = num_vars();
+  for (Var i = 0; i < count; ++i) new_var();
+  return first;
+}
+
 void Solver::ensure_vars(Var n) {
   while (num_vars() < n) new_var();
 }
 
+void Solver::reseed(std::uint64_t seed) { rng_ = util::Rng(seed); }
+
 bool Solver::add_clause(const Clause& clause) {
+  return add_clause_impl(clause, nullptr);
+}
+
+bool Solver::add_clause_impl(const Clause& clause, ClauseRef* attached) {
+  if (attached != nullptr) *attached = kNoReason;
   if (!ok_) return false;
   assert(decision_level() == 0);
   for (const Lit l : clause) ensure_vars(l.var() + 1);
@@ -132,8 +146,79 @@ bool Solver::add_clause(const Clause& clause) {
     ok_ = (propagate() == kNoReason);
     return ok_;
   }
-  attach_new_clause(add_tmp_, /*learnt=*/false, /*lbd=*/0);
+  const ClauseRef cref = attach_new_clause(add_tmp_, /*learnt=*/false,
+                                           /*lbd=*/0);
+  if (attached != nullptr) *attached = cref;
   return true;
+}
+
+bool Solver::add_clause_activated(const Clause& clause, Lit activation) {
+  Clause guarded;
+  guarded.reserve(clause.size() + 1);
+  guarded.assign(clause.begin(), clause.end());
+  guarded.push_back(~activation);
+  ClauseRef cref = kNoReason;
+  const bool result = add_clause_impl(guarded, &cref);
+  // Only arena records need indexing: simplified-away clauses (satisfied,
+  // tautological, or collapsed to a unit) leave nothing to retire.
+  if (cref != kNoReason) {
+    activation_clauses_[activation.var()].push_back(cref);
+  }
+  return result;
+}
+
+std::size_t Solver::retire(Lit activation) {
+  return retire(std::vector<Lit>{activation});
+}
+
+std::size_t Solver::retire(const std::vector<Lit>& activations) {
+  assert(decision_level() == 0);
+  if (activations.empty()) return 0;
+  stats_.retired_activations += activations.size();
+  std::size_t reclaimed = 0;
+  // Reclaim the indexed guarded records first. A record can be a root
+  // reason only if it propagated its own ~activation; those stay alive
+  // (they are satisfied and harmless) rather than dangling as reasons.
+  for (const Lit activation : activations) {
+    const auto it = activation_clauses_.find(activation.var());
+    if (it == activation_clauses_.end()) continue;
+    for (const ClauseRef cref : it->second) {
+      if (clause_removed(cref) || clause_is_root_reason(cref)) continue;
+      remove_clause(cref);
+      ++reclaimed;
+    }
+    activation_clauses_.erase(it);
+  }
+  // Make the retirements permanent. Any remaining clause mentioning a
+  // retired ~activation — in particular every learnt clause that
+  // recorded the guard during assumption solving — is satisfied forever
+  // from here on.
+  std::unordered_set<std::uint32_t> dead;
+  dead.reserve(activations.size());
+  for (const Lit activation : activations) {
+    add_clause({~activation});
+    dead.insert(static_cast<std::uint32_t>((~activation).code()));
+  }
+  // One sweep of the learnt database covers the whole batch.
+  std::size_t keep = 0;
+  for (const ClauseRef cref : learnt_clauses_) {
+    const std::uint32_t size = clause_size(cref);
+    const std::uint32_t base = lit_base(cref);
+    bool mentions = false;
+    for (std::uint32_t i = 0; i < size && !mentions; ++i) {
+      mentions = dead.count(arena_[base + i]) != 0;
+    }
+    if (mentions && !clause_is_root_reason(cref)) {
+      remove_clause(cref);
+      ++reclaimed;
+    } else {
+      learnt_clauses_[keep++] = cref;
+    }
+  }
+  learnt_clauses_.resize(keep);
+  stats_.retired_clauses += reclaimed;
+  maybe_garbage_collect();
+  return reclaimed;
 }
 
 bool Solver::add_formula(const CnfFormula& formula) {
@@ -178,20 +263,31 @@ void Solver::attach_watches(ClauseRef cref) {
 }
 
 void Solver::detach_watches(ClauseRef cref) {
-  // Only non-binary clauses are ever detached (reduce_db spares binaries),
-  // so the watcher entries carry the untagged cref.
-  assert(clause_size(cref) > 2);
+  // Binary clauses carry the tag bit in their watcher entries (reduce_db
+  // spares binaries, but retire() reclaims guarded binaries too).
+  const ClauseRef key =
+      clause_size(cref) == 2 ? (cref | kBinaryTag) : cref;
   for (int i = 0; i < 2; ++i) {
     const Lit watched = clause_lit(cref, static_cast<std::uint32_t>(i));
     auto& list = watches_[static_cast<std::size_t>((~watched).code())];
     for (std::size_t j = 0; j < list.size(); ++j) {
-      if (list[j].cref == cref) {
+      if (list[j].cref == key) {
         list[j] = list.back();
         list.pop_back();
         break;
       }
     }
   }
+}
+
+bool Solver::clause_is_root_reason(ClauseRef cref) const {
+  // Long-clause propagation keeps the implied literal at position 0;
+  // binary reasons may have it at either position.
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const Lit l = clause_lit(cref, i);
+    if (value(l) == LBool::kTrue && reason(l.var()) == cref) return true;
+  }
+  return false;
 }
 
 void Solver::remove_clause(ClauseRef cref) {
@@ -640,8 +736,23 @@ void Solver::garbage_collect() {
       var_data_[static_cast<std::size_t>(v)].reason = kNoReason;
     }
   }
-  for (ClauseRef& cref : problem_clauses_) reloc(cref);
-  for (ClauseRef& cref : learnt_clauses_) reloc(cref);
+  for (auto& entry : activation_clauses_) {
+    for (ClauseRef& cref : entry.second) reloc(cref);
+  }
+  // The clause lists may still carry records retired between reductions;
+  // they are dead (detached, marked) and get swept here rather than paying
+  // an O(list) erase at every retire().
+  const auto sweep = [&](std::vector<ClauseRef>& list) {
+    std::size_t keep = 0;
+    for (ClauseRef cref : list) {
+      if ((arena_[cref] & (kMarkBit | kRelocBit)) == kMarkBit) continue;
+      reloc(cref);
+      list[keep++] = cref;
+    }
+    list.resize(keep);
+  };
+  sweep(problem_clauses_);
+  sweep(learnt_clauses_);
   arena_ = std::move(to);
   wasted_ = 0;
 }
@@ -802,6 +913,7 @@ const SolverStats& Solver::stats() const {
   stats_.arena_bytes = arena_.size() * sizeof(std::uint32_t);
   stats_.wasted_bytes = wasted_ * sizeof(std::uint32_t);
   stats_.max_learnts = max_learnts_;
+  stats_.vars_allocated = static_cast<std::uint64_t>(num_vars());
   return stats_;
 }
 

@@ -48,9 +48,20 @@
 // reduction. SolverStats exposes the arena size, current wasted bytes, GC
 // run count, the tier sizes of the last reduction, and the learnt-clause
 // budget (max_learnts) in effect.
+// Activation literals (incremental verify/repair pipeline): a client may
+// guard a clause with an activation literal a via add_clause_activated(),
+// which stores (~a ∨ clause) and indexes the record under a. The clause
+// constrains the search only while `a` is assumed. retire(a) asserts ~a
+// as a root-level unit and reclaims every indexed record plus any learnt
+// clause that mentions ~a (all satisfied forever), so the arena GC
+// actually recovers the space instead of carrying dead encodings for the
+// rest of the run. This is how the synthesis pipeline swaps per-candidate
+// cone encodings and per-counterexample MaxSAT machinery in and out of
+// one persistent solver.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "cnf/cnf.hpp"
@@ -112,6 +123,14 @@ struct SolverStats {
   /// Learnt-clause budget in effect for the most recent solve() call;
   /// rescaled against the current problem size on every solve.
   double max_learnts = 0.0;
+  // --- activation-literal retirement (snapshots refreshed by stats()) ----
+  /// Total variables ever allocated (problem + Tseitin + selectors).
+  std::uint64_t vars_allocated = 0;
+  /// Clause records reclaimed by retire() — guarded problem clauses plus
+  /// learnt clauses that mentioned a retired activation literal.
+  std::uint64_t retired_clauses = 0;
+  /// Activation literals retired so far.
+  std::uint64_t retired_activations = 0;
 };
 
 /// Incremental CDCL solver with assumptions and UNSAT-core extraction.
@@ -126,15 +145,43 @@ class Solver {
 
   /// Allocate a fresh variable.
   Var new_var();
+  /// Allocate `count` consecutive fresh variables; returns the first.
+  /// Clients encoding a fixed block (e.g. a DQBF matrix) reserve it up
+  /// front so later Tseitin/selector variables never collide with it.
+  Var reserve_vars(Var count);
   /// Grow to at least `n` variables.
   void ensure_vars(Var n);
   Var num_vars() const { return static_cast<Var>(assigns_.size()); }
+
+  /// Restart the decision RNG from `seed`. A persistent solver reseeds
+  /// between rounds so a stuck client sees a different search trajectory
+  /// (the one-shot equivalent was constructing a fresh solver per round).
+  void reseed(std::uint64_t seed);
 
   /// Add a clause. Returns false if the formula became trivially
   /// unsatisfiable (conflicting units at the root level).
   bool add_clause(const Clause& clause);
   /// Add every clause of a CNF formula.
   bool add_formula(const CnfFormula& formula);
+
+  /// Add `clause` guarded by the activation literal `activation`: the
+  /// stored clause is (~activation ∨ clause), so it constrains the search
+  /// only while `activation` is passed as an assumption. The record is
+  /// indexed under `activation` for later retirement. `activation` must be
+  /// a fresh variable that appears in no other (unguarded) clause.
+  bool add_clause_activated(const Clause& clause, Lit activation);
+
+  /// Retire an activation literal: asserts ~activation as a root-level
+  /// unit (permanently satisfying every clause guarded by it, including
+  /// learnt clauses that recorded the guard) and reclaims those records
+  /// from the arena. Returns the number of clause records reclaimed; the
+  /// memory is recovered by the next mark-compact GC. Must be called
+  /// between solves (root decision level).
+  std::size_t retire(Lit activation);
+  /// Batch form: one learnt-database sweep covers every retired guard,
+  /// so a verify round that swaps R cones pays O(learnt DB + guarded),
+  /// not O(R × learnt DB).
+  std::size_t retire(const std::vector<Lit>& activations);
 
   /// Solve under the given assumptions. kUnknown only when a budget or
   /// deadline interrupts the search.
@@ -262,6 +309,7 @@ class Solver {
   void new_decision_level() {
     trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
   }
+  bool add_clause_impl(const Clause& clause, ClauseRef* attached);
   void enqueue(Lit p, ClauseRef from);
   ClauseRef propagate();
   void cancel_until(std::int32_t target_level);
@@ -275,6 +323,7 @@ class Solver {
   void attach_watches(ClauseRef cref);
   void detach_watches(ClauseRef cref);
   void remove_clause(ClauseRef cref);
+  bool clause_is_root_reason(ClauseRef cref) const;
   void reduce_db();
   void maybe_garbage_collect();
   void garbage_collect();
@@ -301,6 +350,9 @@ class Solver {
   std::size_t wasted_ = 0;
   std::vector<ClauseRef> problem_clauses_;
   std::vector<ClauseRef> learnt_clauses_;
+  /// Guarded clause records by activation variable; a GC root. Entries
+  /// are erased wholesale when the activation is retired.
+  std::unordered_map<Var, std::vector<ClauseRef>> activation_clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
 
   std::vector<LBool> assigns_;

@@ -1,6 +1,6 @@
-#include "engine/scheduler.hpp"
+#include "util/scheduler.hpp"
 
-namespace manthan::engine {
+namespace manthan::util {
 
 Scheduler::Scheduler(std::size_t workers) {
   const std::size_t count = workers == 0 ? 1 : workers;
@@ -33,4 +33,4 @@ void Scheduler::worker_loop() {
   }
 }
 
-}  // namespace manthan::engine
+}  // namespace manthan::util

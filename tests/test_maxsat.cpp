@@ -189,5 +189,111 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MaxSatParams{4, 4, 4}, MaxSatParams{5, 8, 6},
                       MaxSatParams{6, 10, 8}, MaxSatParams{8, 14, 10}));
 
+// ---------------------------------------------------------------------------
+// IncrementalMaxSat: round-scoped Fu-Malik on a shared persistent solver.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalMaxSat, CostZeroWhenSoftsFit) {
+  sat::Solver solver;
+  solver.add_clause({pos(0), pos(1)});
+  IncrementalMaxSat inc(solver);
+  ASSERT_EQ(inc.solve_round({}, {pos(0), pos(1)}), MaxSatStatus::kOptimal);
+  EXPECT_EQ(inc.cost(), 0u);
+  EXPECT_TRUE(inc.soft_satisfied(0));
+  EXPECT_TRUE(inc.soft_satisfied(1));
+}
+
+TEST(IncrementalMaxSat, ConflictingSoftsCostOne) {
+  sat::Solver solver;
+  solver.ensure_vars(1);
+  IncrementalMaxSat inc(solver);
+  ASSERT_EQ(inc.solve_round({}, {pos(0), neg(0)}), MaxSatStatus::kOptimal);
+  EXPECT_EQ(inc.cost(), 1u);
+  EXPECT_NE(inc.soft_satisfied(0), inc.soft_satisfied(1));
+}
+
+TEST(IncrementalMaxSat, HardAssumptionConflictReported) {
+  sat::Solver solver;
+  solver.ensure_vars(2);
+  IncrementalMaxSat inc(solver);
+  EXPECT_EQ(inc.solve_round({pos(0), neg(0)}, {pos(1)}),
+            MaxSatStatus::kUnsatisfiableHard);
+}
+
+TEST(IncrementalMaxSat, RoundsAreIndependentAndLeaveNoTrace) {
+  // A high-cost round followed by a trivially satisfiable round on the
+  // same solver: the retired machinery of round 1 must not constrain
+  // round 2, and the underlying solver keeps answering plain queries.
+  sat::Solver solver;
+  solver.add_clause({pos(0), pos(1), pos(2)});
+  IncrementalMaxSat inc(solver);
+  ASSERT_EQ(inc.solve_round({}, {neg(0), neg(1), neg(2), pos(0)}),
+            MaxSatStatus::kOptimal);
+  EXPECT_GE(inc.cost(), 1u);
+  ASSERT_EQ(inc.solve_round({}, {pos(0), pos(1), pos(2)}),
+            MaxSatStatus::kOptimal);
+  EXPECT_EQ(inc.cost(), 0u);
+  EXPECT_EQ(solver.solve({neg(0), neg(1)}), sat::Result::kSat);
+  EXPECT_TRUE(solver.model().value(pos(2)));
+  EXPECT_EQ(inc.stats().rounds, 2u);
+  EXPECT_GE(solver.stats().retired_activations, 2u);
+}
+
+/// The optimum is unique even when the witnessing assignment is not, so
+/// the incremental round must agree exactly with the one-shot Fu-Malik
+/// solver on every instance — across many rounds of the same shared
+/// solver, which is how the repair loop drives it.
+TEST(IncrementalMaxSat, MatchesOneShotFuMalikAcrossRounds) {
+  util::Rng rng(29);
+  const Var kVars = 7;
+  // A shared hard formula (kept satisfiable: one forced model).
+  CnfFormula hard(kVars);
+  for (int c = 0; c < 10; ++c) {
+    Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(cnf::Lit(static_cast<Var>(rng.next_below(kVars)),
+                                rng.flip()));
+    }
+    // Keep the all-true assignment a model so the hards never conflict.
+    clause.push_back(pos(static_cast<Var>(rng.next_below(kVars))));
+    hard.add_clause(clause);
+  }
+  sat::Solver shared;
+  ASSERT_TRUE(shared.add_formula(hard));
+  IncrementalMaxSat inc(shared);
+  for (int round = 0; round < 12; ++round) {
+    std::vector<cnf::Lit> hard_units;
+    for (Var v = 0; v < 2; ++v) {
+      if (rng.flip()) {
+        hard_units.push_back(cnf::Lit(static_cast<Var>(rng.next_below(kVars)),
+                                      rng.flip()));
+      }
+    }
+    std::vector<cnf::Lit> softs;
+    const std::size_t num_softs = 2 + rng.next_below(4);
+    for (std::size_t i = 0; i < num_softs; ++i) {
+      softs.push_back(cnf::Lit(static_cast<Var>(rng.next_below(kVars)),
+                               rng.flip()));
+    }
+    const MaxSatStatus inc_status = inc.solve_round(hard_units, softs);
+
+    MaxSatSolver oneshot;
+    oneshot.add_hard_formula(hard);
+    for (const cnf::Lit l : hard_units) oneshot.add_hard({l});
+    for (const cnf::Lit l : softs) oneshot.add_soft({l});
+    const MaxSatStatus oneshot_status = oneshot.solve();
+
+    ASSERT_EQ(inc_status, oneshot_status) << "round " << round;
+    if (inc_status == MaxSatStatus::kOptimal) {
+      EXPECT_EQ(inc.cost(), oneshot.cost()) << "round " << round;
+      std::size_t falsified = 0;
+      for (std::size_t i = 0; i < softs.size(); ++i) {
+        if (!inc.soft_satisfied(i)) ++falsified;
+      }
+      EXPECT_EQ(falsified, inc.cost()) << "round " << round;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace manthan::maxsat

@@ -339,5 +339,111 @@ TEST(SolverCancel, TokenComposedIntoDeadlineStopsSolve) {
   EXPECT_NE(s.solve({}, fresh), Result::kUnknown);
 }
 
+TEST(Solver, ReserveVarsAllocatesContiguousBlock) {
+  Solver s;
+  EXPECT_EQ(s.reserve_vars(10), 0);
+  EXPECT_EQ(s.num_vars(), 10);
+  EXPECT_EQ(s.reserve_vars(5), 10);
+  EXPECT_EQ(s.new_var(), 15);
+}
+
+TEST(Solver, ActivationClauseBindsOnlyWhileAssumed) {
+  Solver s;
+  const Var x = s.new_var();
+  const Lit act = pos(s.new_var());
+  // (x) guarded by act: free without the assumption, binding with it.
+  EXPECT_TRUE(s.add_clause_activated({pos(x)}, act));
+  EXPECT_EQ(s.solve({neg(x)}), Result::kSat);
+  EXPECT_EQ(s.solve({act, neg(x)}), Result::kUnsat);
+  EXPECT_EQ(s.solve({act}), Result::kSat);
+  EXPECT_TRUE(s.model().value(pos(x)));
+}
+
+TEST(Solver, RetireFreesTheConstraintAndCountsStats) {
+  Solver s;
+  const Var x = s.new_var();
+  const Var y = s.new_var();
+  const Lit act = pos(s.new_var());
+  EXPECT_TRUE(s.add_clause_activated({pos(x), pos(y)}, act));
+  EXPECT_TRUE(s.add_clause_activated({pos(x), neg(y)}, act));
+  EXPECT_EQ(s.solve({act, neg(x)}), Result::kUnsat);
+  // At least the two guarded problem clauses; learnt clauses that
+  // recorded the guard during the UNSAT solve are reclaimed too.
+  const std::size_t reclaimed = s.retire(act);
+  EXPECT_GE(reclaimed, 2u);
+  EXPECT_EQ(s.stats().retired_clauses, reclaimed);
+  EXPECT_EQ(s.stats().retired_activations, 1u);
+  // Without the guard the old constraint is gone for good.
+  EXPECT_EQ(s.solve({neg(x), neg(y)}), Result::kSat);
+  EXPECT_GE(s.stats().vars_allocated, 3u);
+}
+
+TEST(Solver, RetireReclaimsArenaViaGc) {
+  // Enough guarded ternaries to push waste past the ~20% GC trigger once
+  // retired; afterwards the solver still answers correctly.
+  Solver s;
+  const Var base = s.reserve_vars(40);
+  s.add_clause({pos(base), pos(base + 1)});  // permanent clause survives
+  const Lit act = pos(s.new_var());
+  for (Var v = 0; v + 2 < 40; ++v) {
+    EXPECT_TRUE(s.add_clause_activated(
+        {pos(base + v), pos(base + v + 1), pos(base + v + 2)}, act));
+  }
+  ASSERT_EQ(s.solve({act}), Result::kSat);
+  const std::uint64_t arena_before = s.stats().arena_bytes;
+  const std::size_t reclaimed = s.retire(act);
+  EXPECT_GE(reclaimed, 30u);
+  EXPECT_GE(s.stats().gc_runs, 1u);
+  EXPECT_LT(s.stats().arena_bytes, arena_before);
+  EXPECT_EQ(s.stats().wasted_bytes, 0u);
+  EXPECT_EQ(s.solve({}), Result::kSat);
+  EXPECT_EQ(s.solve({neg(base), neg(base + 1)}), Result::kUnsat);
+}
+
+TEST(Solver, RetiredGuardsDoNotPoisonLaterSolves) {
+  // Interleave guarded sessions with unguarded solving: each retired
+  // session must leave no semantic trace (MaxSAT round usage pattern).
+  util::Rng rng(11);
+  Solver s;
+  const CnfFormula f = random_cnf({30, 90, 3}, rng);
+  if (!s.add_formula(f)) GTEST_SKIP() << "root-level conflict";
+  Solver reference;
+  ASSERT_TRUE(reference.add_formula(f));
+  for (int session = 0; session < 10; ++session) {
+    const Lit act = pos(s.new_var());
+    for (int c = 0; c < 20; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(Lit(static_cast<Var>(rng.next_below(30)),
+                             rng.flip()));
+      }
+      s.add_clause_activated(clause, act);
+    }
+    s.solve({act});
+    s.retire(act);
+    // Same random assumption triple must get the same verdict as an
+    // untouched reference solver.
+    std::vector<Lit> assumptions;
+    for (int k = 0; k < 3; ++k) {
+      assumptions.push_back(Lit(static_cast<Var>(rng.next_below(30)),
+                                rng.flip()));
+    }
+    EXPECT_EQ(s.solve(assumptions), reference.solve(assumptions))
+        << "session " << session;
+  }
+}
+
+TEST(Solver, ReseedChangesSearchNotVerdict) {
+  util::Rng rng(3);
+  const CnfFormula f = random_cnf({40, 160, 3}, rng);
+  Solver s;
+  if (!s.add_formula(f)) GTEST_SKIP() << "root-level conflict";
+  const Result first = s.solve();
+  s.reseed(0xfeedULL);
+  s.options().random_branch_freq = 0.2;
+  s.options().random_polarity = true;
+  EXPECT_EQ(s.solve(), first);
+}
+
 }  // namespace
 }  // namespace manthan::sat

@@ -33,7 +33,35 @@ void BM_AigBuild(benchmark::State& state) {
         random_cone(m, 16, static_cast<int>(state.range(0)), 3));
   }
 }
-BENCHMARK(BM_AigBuild)->Arg(100)->Arg(1000)->Arg(5000);
+BENCHMARK(BM_AigBuild)->Arg(100)->Arg(1000)->Arg(5000)->Arg(50000);
+
+void BM_AigStrashHit(benchmark::State& state) {
+  // Pure lookup load on the structural-hash table: the cone is built
+  // once, then every and_gate call re-resolves an existing node. This is
+  // the repair loop's profile — candidates are rebuilt from mostly-shared
+  // subcones every round.
+  Aig m;
+  manthan::util::Rng rng(3);
+  std::vector<Ref> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(m.input(i));
+  std::vector<std::pair<Ref, Ref>> pairs;
+  for (int g = 0; g < static_cast<int>(state.range(0)); ++g) {
+    const Ref a = pool[rng.next_below(pool.size())] ^
+                  static_cast<Ref>(rng.flip());
+    const Ref b = pool[rng.next_below(pool.size())] ^
+                  static_cast<Ref>(rng.flip());
+    pairs.emplace_back(a, b);
+    pool.push_back(m.and_gate(a, b));
+  }
+  for (auto _ : state) {
+    Ref acc = 0;
+    for (const auto& [a, b] : pairs) acc ^= m.and_gate(a, b);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AigStrashHit)->Arg(1000)->Arg(50000);
 
 void BM_AigCompose(benchmark::State& state) {
   Aig m;

@@ -16,12 +16,14 @@
 #include <benchmark/benchmark.h>
 
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/manthan3.hpp"
 #include "dqbf/certificate.hpp"
 #include "dqbf/incremental_refutation.hpp"
 #include "maxsat/maxsat.hpp"
+#include "sampler/sampler.hpp"
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
 #include "workloads/workloads.hpp"
@@ -68,6 +70,13 @@ void run_pipeline(benchmark::State& state,
     options.time_limit_seconds = 120.0;
     options.max_counterexamples = 300;
     options.incremental = incremental;
+    // Pin the PR-5 front end off: these benches exist to compare the
+    // incremental vs re-encode *verify/repair* machinery, and under the
+    // enumerating sampler + reuse defaults the planted instance certifies
+    // in round 0 — the comparison would be vacuous (the counterexamples
+    // counter guards this).
+    options.sampler.enumerate = false;
+    options.sample_reuse = false;
     options.seed = 42;
     last = Manthan3(options).synthesize(formula, manager);
     benchmark::DoNotOptimize(last.status);
@@ -227,6 +236,237 @@ BENCHMARK(BM_MaxSatRoundsRebuild)->Unit(benchmark::kMillisecond);
 // at every worker count, so only wall-clock moves. CPU-bound — the
 // speedup follows physical cores (`cores` counter), as with the engine
 // benchmarks.
+
+// --- bit-packed sampling + learning front end --------------------------------
+// The PR-5 data path: enumerating solver session -> packed SampleMatrix ->
+// popcount decision trees, against the pre-PR path (one full solve() per
+// model, row-wise vector<bool> learning). BM_Sampling* isolates the model
+// harvest (samples/sec); BM_SampleLearnPhase* times the whole front half
+// of Algorithm 1 (GetSamples + CandidateSkF) on a learning-dominated
+// instance through Manthan3 itself.
+
+manthan::dqbf::DqbfFormula learning_heavy() {
+  manthan::workloads::PlantedParams params;
+  params.num_universals = 20;
+  params.num_existentials = 16;
+  params.dep_size = 10;
+  params.function_gates = 6;
+  params.num_clauses = 120;
+  params.seed = 9;
+  params.xor_functions = false;
+  return manthan::workloads::gen_planted(params);
+}
+
+constexpr std::size_t kSampleBudget = 4096;
+
+std::vector<manthan::cnf::Var> existential_vars(
+    const manthan::dqbf::DqbfFormula& formula) {
+  std::vector<manthan::cnf::Var> y_vars;
+  for (const auto& e : formula.existentials()) y_vars.push_back(e.var);
+  return y_vars;
+}
+
+/// The pre-PR GetSamples, verbatim: one full solve() per model on a
+/// probe + biased-main solver pair, duplicate detection through an
+/// unordered_set<vector<bool>> of whole models, results accumulated as
+/// vector<Assignment> rows. This is the benchmarked baseline for the
+/// packed front end — not the in-library `enumerate = false` oracle,
+/// which already benefits from fingerprint dedup and packed storage.
+std::vector<manthan::cnf::Assignment> sample_pre_pr(
+    const manthan::cnf::CnfFormula& formula,
+    const std::vector<manthan::cnf::Var>& bias_vars, std::uint64_t seed) {
+  std::vector<manthan::cnf::Assignment> samples;
+  std::unordered_set<std::vector<bool>> seen;
+  const auto draw = [&](manthan::sat::Solver& solver, std::size_t count) {
+    std::size_t duplicates = 0;
+    const std::size_t max_duplicates = 16 + 4 * count;
+    while (count > 0) {
+      if (solver.solve() != manthan::sat::Result::kSat) break;
+      if (seen.insert(solver.model().bits()).second) {
+        samples.push_back(solver.model());
+        --count;
+      } else if (++duplicates >= max_duplicates) {
+        break;
+      }
+    }
+  };
+  manthan::sat::SolverOptions probe_options;
+  probe_options.random_polarity = true;
+  probe_options.random_branch_freq = 0.2;
+  probe_options.seed = seed;
+  manthan::sat::Solver probe_solver(probe_options);
+  if (!probe_solver.add_formula(formula)) return {};
+  draw(probe_solver, std::min<std::size_t>(64, kSampleBudget));
+  if (samples.empty() || samples.size() >= kSampleBudget) return samples;
+  std::vector<double> bias(static_cast<std::size_t>(formula.num_vars()),
+                           0.5);
+  for (const manthan::cnf::Var v : bias_vars) {
+    std::size_t trues = 0;
+    for (const auto& a : samples) {
+      if (a.value(v)) ++trues;
+    }
+    const double fraction =
+        static_cast<double>(trues) / static_cast<double>(samples.size());
+    if (fraction >= 0.65) {
+      bias[static_cast<std::size_t>(v)] = 0.9;
+    } else if (fraction <= 0.35) {
+      bias[static_cast<std::size_t>(v)] = 0.1;
+    }
+  }
+  manthan::sat::SolverOptions main_options = probe_options;
+  main_options.seed = seed ^ 0x5deece66dULL;
+  main_options.polarity_bias = bias;
+  manthan::sat::Solver main_solver(main_options);
+  if (!main_solver.add_formula(formula)) return samples;
+  draw(main_solver, kSampleBudget - samples.size());
+  return samples;
+}
+
+void BM_SamplingEnumerate(benchmark::State& state) {
+  const auto formula = learning_heavy();
+  const auto y_vars = existential_vars(formula);
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    manthan::sampler::SamplerOptions options;
+    options.num_samples = kSampleBudget;
+    options.seed = 42;
+    manthan::sampler::Sampler sampler(options);
+    samples = sampler.sample_packed(formula.matrix(), y_vars).num_samples();
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples));
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_SamplingEnumerate)->Unit(benchmark::kMillisecond);
+
+void BM_SamplingSolvePerModelPrePr(benchmark::State& state) {
+  const auto formula = learning_heavy();
+  const auto y_vars = existential_vars(formula);
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    samples = sample_pre_pr(formula.matrix(), y_vars, 42).size();
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples));
+  state.counters["samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_SamplingSolvePerModelPrePr)->Unit(benchmark::kMillisecond);
+
+// Whole front half of Algorithm 1 (GetSamples + CandidateSkF), isolated:
+// per-existential features are the Henkin dependencies plus every earlier
+// existential, as in Manthan3's pre-committed feature sets.
+
+void BM_SampleLearnPhasePacked(benchmark::State& state) {
+  const auto formula = learning_heavy();
+  const auto y_vars = existential_vars(formula);
+  for (auto _ : state) {
+    manthan::sampler::SamplerOptions options;
+    options.num_samples = kSampleBudget;
+    options.seed = 42;
+    manthan::sampler::Sampler sampler(options);
+    const manthan::cnf::SampleMatrix samples =
+        sampler.sample_packed(formula.matrix(), y_vars);
+    for (std::size_t i = 0; i < formula.num_existentials(); ++i) {
+      const auto& e = formula.existentials()[i];
+      std::vector<manthan::cnf::Var> features(e.deps.begin(), e.deps.end());
+      for (std::size_t j = 0; j < i; ++j) features.push_back(y_vars[j]);
+      manthan::dtree::DtreeOptions dt;
+      dt.seed = manthan::util::derive_seed(42, 0x4c4541524eULL, i);
+      benchmark::DoNotOptimize(manthan::dtree::DecisionTree::fit(
+          samples, features, e.var, dt));
+    }
+  }
+}
+BENCHMARK(BM_SampleLearnPhasePacked)->Unit(benchmark::kMillisecond);
+
+void BM_SampleLearnPhasePrePr(benchmark::State& state) {
+  const auto formula = learning_heavy();
+  const auto y_vars = existential_vars(formula);
+  for (auto _ : state) {
+    const std::vector<manthan::cnf::Assignment> samples =
+        sample_pre_pr(formula.matrix(), y_vars, 42);
+    for (std::size_t i = 0; i < formula.num_existentials(); ++i) {
+      const auto& e = formula.existentials()[i];
+      std::vector<manthan::cnf::Var> features(e.deps.begin(), e.deps.end());
+      for (std::size_t j = 0; j < i; ++j) features.push_back(y_vars[j]);
+      std::vector<std::vector<bool>> rows;
+      rows.reserve(samples.size());
+      std::vector<bool> labels;
+      labels.reserve(samples.size());
+      for (const auto& s : samples) {
+        std::vector<bool> row;
+        row.reserve(features.size());
+        for (const manthan::cnf::Var v : features) row.push_back(s.value(v));
+        rows.push_back(std::move(row));
+        labels.push_back(s.value(e.var));
+      }
+      manthan::dtree::DtreeOptions dt;
+      dt.seed = manthan::util::derive_seed(42, 0x4c4541524eULL, i);
+      benchmark::DoNotOptimize(
+          manthan::dtree::DecisionTree::fit(rows, labels, dt));
+    }
+  }
+}
+BENCHMARK(BM_SampleLearnPhasePrePr)->Unit(benchmark::kMillisecond);
+
+// --- cross-round sample reuse ------------------------------------------------
+// Counterexample-heavy nested-dependency family (repair-hostile: the
+// core-guided patcher alone burns its whole counterexample budget here):
+// with reuse on, repair counterexamples and MaxSAT-corrected σ's feed
+// refits, so the engine escapes with a fraction of the repair iterations
+// — and typically actually certifies (`realized` counter).
+
+manthan::dqbf::DqbfFormula repair_hostile_planted() {
+  manthan::workloads::PlantedParams params;
+  params.num_universals = 16;
+  params.num_existentials = 6;
+  params.dep_size = 5;
+  params.function_gates = 5;
+  params.num_clauses = 180;
+  params.seed = 3;
+  params.xor_functions = false;
+  params.nested_deps = true;
+  params.dep_size_max = 12;
+  return manthan::workloads::gen_planted(params);
+}
+
+void run_reuse(benchmark::State& state, bool reuse) {
+  const auto formula = repair_hostile_planted();
+  SynthesisResult last;
+  for (auto _ : state) {
+    manthan::aig::Aig manager;
+    Manthan3Options options;
+    options.time_limit_seconds = 120.0;
+    options.max_counterexamples = 300;
+    options.sample_reuse = reuse;
+    options.seed = 42;
+    last = Manthan3(options).synthesize(formula, manager);
+    benchmark::DoNotOptimize(last.status);
+  }
+  state.counters["counterexamples"] =
+      static_cast<double>(last.stats.counterexamples);
+  state.counters["repair_checks"] =
+      static_cast<double>(last.stats.repair_checks);
+  state.counters["repairs"] = static_cast<double>(last.stats.repairs);
+  state.counters["refit_rounds"] =
+      static_cast<double>(last.stats.refit_rounds);
+  state.counters["samples_appended"] =
+      static_cast<double>(last.stats.samples_appended);
+  state.counters["realized"] =
+      last.status == manthan::core::SynthesisStatus::kRealizable ? 1.0 : 0.0;
+}
+
+void BM_ReuseRefitOn(benchmark::State& state) {
+  run_reuse(state, /*reuse=*/true);
+}
+BENCHMARK(BM_ReuseRefitOn)->Unit(benchmark::kMillisecond);
+
+void BM_ReuseRefitOff(benchmark::State& state) {
+  run_reuse(state, /*reuse=*/false);
+}
+BENCHMARK(BM_ReuseRefitOff)->Unit(benchmark::kMillisecond);
 
 void BM_LearnWorkers(benchmark::State& state) {
   manthan::workloads::PlantedParams params;

@@ -182,7 +182,11 @@ int main(int argc, char** argv) {
               << result.stats.verify_clauses_retired
               << " clauses retired, phi+maxsat " << result.stats.phi_vars
               << " vars / " << result.stats.phi_clauses_retired
-              << " clauses retired\n";
+              << " clauses retired\n"
+              << "reuse: " << result.stats.samples_appended
+              << " counterexample samples appended, "
+              << result.stats.refit_rounds << " refit rounds / "
+              << result.stats.refit_candidates << " candidates refit\n";
   }
   if (result.status == manthan::core::SynthesisStatus::kUnrealizable) {
     std::cout << "result: UNREALIZABLE\n";

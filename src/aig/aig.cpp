@@ -5,6 +5,18 @@
 
 namespace manthan::aig {
 
+namespace {
+
+/// Fibonacci multiplicative hash of an operand-pair key: one multiply is
+/// enough spread for a power-of-two open-addressing table, and is
+/// measurably cheaper than a full 64-bit mixer on the all-hit lookup
+/// loads the repair loop generates.
+inline std::size_t strash_hash(std::uint64_t key) {
+  return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> 16);
+}
+
+}  // namespace
+
 Aig::Aig() {
   nodes_.push_back({});  // node 0: constant false
 }
@@ -30,20 +42,44 @@ std::int32_t Aig::input_id(Ref r) const {
   return nodes_[ref_node(r)].input_id;
 }
 
+void Aig::strash_grow() {
+  const std::size_t cap = strash_keys_.empty() ? 1024 : strash_keys_.size() * 2;
+  std::vector<std::uint64_t> keys(cap, 0);
+  std::vector<Ref> vals(cap, 0);
+  const std::size_t mask = cap - 1;
+  for (std::size_t i = 0; i < strash_keys_.size(); ++i) {
+    const std::uint64_t key = strash_keys_[i];
+    if (key == 0) continue;
+    std::size_t slot = strash_hash(key) & mask;
+    while (keys[slot] != 0) slot = (slot + 1) & mask;
+    keys[slot] = key;
+    vals[slot] = strash_vals_[i];
+  }
+  strash_keys_ = std::move(keys);
+  strash_vals_ = std::move(vals);
+}
+
 Ref Aig::make_and(Ref a, Ref b) {
   // Canonical order so that and(a,b) == and(b,a) hash-cons together.
   if (a > b) std::swap(a, b);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
-  const auto it = strash_.find(key);
-  if (it != strash_.end()) return it->second;
+  if (strash_used_ * 2 >= strash_keys_.size()) strash_grow();
+  const std::size_t mask = strash_keys_.size() - 1;
+  std::size_t slot = strash_hash(key) & mask;
+  while (strash_keys_[slot] != 0) {
+    if (strash_keys_[slot] == key) return strash_vals_[slot];
+    slot = (slot + 1) & mask;
+  }
   const auto index = static_cast<std::uint32_t>(nodes_.size());
   Node n;
   n.fanin0 = a;
   n.fanin1 = b;
   nodes_.push_back(n);
   const Ref r = make_ref(index, false);
-  strash_.emplace(key, r);
+  strash_keys_[slot] = key;
+  strash_vals_[slot] = r;
+  ++strash_used_;
   return r;
 }
 

@@ -100,9 +100,19 @@ class Aig {
 
  private:
   Ref make_and(Ref a, Ref b);
+  void strash_grow();
 
   std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, Ref> strash_;
+  // Structural-hash table, open addressing with linear probing: the key
+  // packs the canonically ordered operand pair (a <= b, both >= 2 because
+  // constant operands fold before hashing, so key 0 marks an empty slot);
+  // the value is the AND node's Ref. One flat array probe per lookup
+  // replaces the unordered_map's bucket pointer chase on the hottest AIG
+  // path (every gate constructor lands here). Power-of-two capacity,
+  // grown at 50% load.
+  std::vector<std::uint64_t> strash_keys_;
+  std::vector<Ref> strash_vals_;
+  std::size_t strash_used_ = 0;
   std::unordered_map<std::int32_t, Ref> input_of_id_;
 };
 

@@ -27,6 +27,58 @@ std::uint64_t simulate64(
   return value[ref_node(root)] ^ (ref_complemented(root) ? ~0ULL : 0);
 }
 
+std::vector<std::uint64_t> simulate_matrix(const Aig& aig, Ref root,
+                                           const cnf::SampleMatrix& matrix) {
+  const std::vector<std::uint32_t> order = cone_topo_order(aig, root);
+  // Flatten the cone into slot-indexed ops once; the word loop then runs
+  // without hash lookups.
+  std::unordered_map<std::uint32_t, std::uint32_t> slot;
+  slot.reserve(order.size());
+  struct Op {
+    const std::uint64_t* column = nullptr;  // non-null: leaf (input column)
+    std::uint32_t slot0 = 0;                // otherwise: and gate
+    std::uint32_t slot1 = 0;
+    std::uint64_t inv0 = 0;
+    std::uint64_t inv1 = 0;
+  };
+  // Constants and out-of-matrix inputs read an all-zero column.
+  static constexpr std::uint64_t kZero = 0;
+  std::vector<Op> ops(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint32_t n = order[i];
+    slot.emplace(n, static_cast<std::uint32_t>(i));
+    const Aig::Node& node = aig.node(n);
+    Op& op = ops[i];
+    if (n == 0 || node.input_id >= 0) {
+      op.column =
+          (n != 0 &&
+           node.input_id < static_cast<std::int32_t>(matrix.num_vars()))
+              ? matrix.column(static_cast<cnf::Var>(node.input_id))
+              : &kZero;
+    } else {
+      op.slot0 = slot.at(ref_node(node.fanin0));
+      op.slot1 = slot.at(ref_node(node.fanin1));
+      op.inv0 = ref_complemented(node.fanin0) ? ~0ULL : 0;
+      op.inv1 = ref_complemented(node.fanin1) ? ~0ULL : 0;
+    }
+  }
+  const std::uint64_t root_inv = ref_complemented(root) ? ~0ULL : 0;
+  const std::uint32_t root_slot = slot.at(ref_node(root));
+  std::vector<std::uint64_t> values(order.size());
+  std::vector<std::uint64_t> out(matrix.num_words());
+  for (std::size_t w = 0; w < matrix.num_words(); ++w) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const Op& op = ops[i];
+      values[i] = op.column != nullptr
+                      ? (op.column == &kZero ? 0 : op.column[w])
+                      : (values[op.slot0] ^ op.inv0) &
+                            (values[op.slot1] ^ op.inv1);
+    }
+    out[w] = values[root_slot] ^ root_inv;
+  }
+  return out;
+}
+
 namespace {
 
 /// Evaluate `root` for all assignments of `ids`; calls `visit` with each

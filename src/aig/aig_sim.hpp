@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "cnf/sample_matrix.hpp"
 
 namespace manthan::aig {
 
@@ -18,6 +19,16 @@ namespace manthan::aig {
 std::uint64_t simulate64(
     const Aig& aig, Ref root,
     const std::unordered_map<std::int32_t, std::uint64_t>& input_patterns);
+
+/// Batch-evaluate `root` over every sample of a bit-packed training
+/// matrix: input ids are read as matrix variables (ids outside the matrix
+/// evaluate to false), 64 samples per word. Returns one output word per
+/// matrix word; bits at positions >= num_samples() in the last word are
+/// unspecified (mask with matrix.tail_mask()). This is how the synthesis
+/// loop screens repair/refit candidates against the whole training set —
+/// words instead of one evaluate() walk per assignment.
+std::vector<std::uint64_t> simulate_matrix(const Aig& aig, Ref root,
+                                           const cnf::SampleMatrix& matrix);
 
 /// Exhaustively check whether `root` is a tautology over its structural
 /// support. Intended for supports up to ~24 inputs (2^support evaluations,

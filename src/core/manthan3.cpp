@@ -6,7 +6,10 @@
 #include <future>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "aig/aig_sim.hpp"
+#include "cnf/sample_matrix.hpp"
 #include "core/dependency.hpp"
 #include "dqbf/certificate.hpp"
 #include "dqbf/incremental_refutation.hpp"
@@ -31,8 +34,34 @@ Lit unit_lit(Var v, bool value) {
 // Salt words separating the engine's derived RNG streams (see the
 // determinism contract in util/rng.hpp): per-existential learning
 // streams and per-round verify-solver reseeds must never collide.
+// Learning salts are offset by the refit generation (kLearnSalt + g), so
+// generation 0 reproduces the pre-reuse stream exactly and every refit
+// pass draws a fresh — but worker-invariant — stream per existential.
 constexpr std::uint64_t kLearnSalt = 0x4c4541524eULL;   // "LEARN"
 constexpr std::uint64_t kVerifySalt = 0x564552494659ULL;  // "VERIFY"
+
+/// Mismatches between a packed candidate simulation and the label column,
+/// restricted to rows [from_row, num_samples). The refit screen passes the
+/// sample count of the previous fit: disagreement with rows the candidate
+/// was already fitted on (and deliberately traded away, or diverged from
+/// via an UNSAT-core repair) is not staleness — only the rows appended
+/// since then are fresh evidence.
+std::size_t packed_mismatches_since(const std::vector<std::uint64_t>& sim,
+                                    const std::uint64_t* label,
+                                    const cnf::SampleMatrix& samples,
+                                    std::size_t from_row) {
+  std::size_t count = 0;
+  const std::size_t words = samples.num_words();
+  for (std::size_t w = from_row >> 6; w < words; ++w) {
+    std::uint64_t diff = sim[w] ^ label[w];
+    if (w == (from_row >> 6) && (from_row & 63) != 0) {
+      diff &= ~((1ULL << (from_row & 63)) - 1);
+    }
+    if (w + 1 == words) diff &= samples.tail_mask();
+    count += static_cast<std::size_t>(__builtin_popcountll(diff));
+  }
+  return count;
+}
 
 }  // namespace
 
@@ -98,18 +127,40 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   std::vector<Var> y_vars;
   y_vars.reserve(m);
   for (const dqbf::Existential& e : ex) y_vars.push_back(e.var);
-  std::vector<cnf::Assignment> samples =
-      sampler.sample(matrix, y_vars, &deadline);
+  cnf::SampleMatrix samples =
+      sampler.sample_packed(matrix, y_vars, &deadline);
   stats.sampling_seconds = phase_timer.seconds();
-  stats.samples = samples.size();
+  stats.samples = samples.num_samples();
   if (samples.empty()) {
     // UNSAT matrix or the deadline hit before the first model.
     const sat::Result r = phi_solver.solve({}, deadline);
     if (r == sat::Result::kUnsat) return finish(SynthesisStatus::kUnrealizable);
     if (r == sat::Result::kUnknown) return finish(SynthesisStatus::kTimeout);
-    samples.push_back(phi_solver.model());
+    samples.append(phi_solver.model());
     stats.samples = 1;
   }
+
+  // Cross-round sample reuse: counterexample-derived models are appended
+  // to the matrix (deduped against everything already in it) so refits
+  // train on fresh data.
+  std::unordered_set<std::uint64_t> sample_fps;
+  if (options_.sample_reuse) {
+    sample_fps.reserve(2 * samples.num_samples());
+    for (std::size_t s = 0; s < samples.num_samples(); ++s) {
+      sample_fps.insert(samples.row_fingerprint(s));
+    }
+  }
+  const auto append_sample = [&](const cnf::Assignment& a) {
+    // Truncate to matrix variables: solver models carry selector and
+    // Tseitin variables above the matrix block.
+    if (sample_fps
+            .insert(cnf::fingerprint(
+                a, static_cast<std::size_t>(samples.num_vars())))
+            .second) {
+      samples.append(a);
+      ++stats.samples_appended;
+    }
+  };
 
   // ---- Static ordering constraints (Algorithm 1, lines 3-5) -------------
   DependencyManager dep(m);
@@ -182,60 +233,85 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     jobs.push_back(i);
   }
 
-  const auto fit_one = [&](std::size_t i) {
+  const auto fit_one = [&](std::size_t i, std::uint64_t generation) {
+    dtree::DtreeOptions dt = options_.dtree;
+    dt.seed = util::derive_seed(options_.seed, kLearnSalt + generation, i);
+    if (options_.packed_learning) {
+      // Popcount path: split statistics straight off the packed columns.
+      return dtree::DecisionTree::fit(samples, feature_vars[i], ex[i].var,
+                                      dt);
+    }
+    // Row-wise oracle: unpack the matrix into per-existential rows.
+    const std::size_t n = samples.num_samples();
     std::vector<std::vector<bool>> rows;
-    rows.reserve(samples.size());
+    rows.reserve(n);
     std::vector<bool> labels;
-    labels.reserve(samples.size());
-    for (const cnf::Assignment& s : samples) {
+    labels.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
       std::vector<bool> row;
       row.reserve(feature_vars[i].size());
-      for (const Var v : feature_vars[i]) row.push_back(s.value(v));
+      for (const Var v : feature_vars[i]) row.push_back(samples.value(s, v));
       rows.push_back(std::move(row));
-      labels.push_back(s.value(ex[i].var));
+      labels.push_back(samples.value(s, ex[i].var));
     }
-    dtree::DtreeOptions dt = options_.dtree;
-    dt.seed = util::derive_seed(options_.seed, kLearnSalt, i);
     return dtree::DecisionTree::fit(rows, labels, dt);
   };
 
   std::vector<dtree::DecisionTree> trees(m);
-  if (learn_workers > 1 && jobs.size() > 1) {
-    // The pool class lives in util precisely so this layer can use it;
-    // the engine module (which links against core) re-exports it as
-    // engine::Scheduler for the portfolio-facing clients.
-    util::Scheduler pool(std::min(learn_workers, jobs.size()));
-    std::vector<std::future<dtree::DecisionTree>> futures;
-    futures.reserve(jobs.size());
-    for (const std::size_t i : jobs) {
-      futures.push_back(pool.submit([&fit_one, i]() { return fit_one(i); }));
+  // One pool for the initial fit and every refit round (created lazily:
+  // serial runs and single-job batches never spawn threads). The pool
+  // class lives in util precisely so this layer can use it; the engine
+  // module (which links against core) re-exports it as engine::Scheduler
+  // for the portfolio-facing clients.
+  std::optional<util::Scheduler> learn_pool;
+  const auto run_fits = [&](const std::vector<std::size_t>& fit_jobs,
+                            std::uint64_t generation) {
+    if (learn_workers > 1 && fit_jobs.size() > 1) {
+      if (!learn_pool.has_value()) learn_pool.emplace(learn_workers);
+      std::vector<std::future<dtree::DecisionTree>> futures;
+      futures.reserve(fit_jobs.size());
+      for (const std::size_t i : fit_jobs) {
+        futures.push_back(learn_pool->submit(
+            [&fit_one, i, generation]() { return fit_one(i, generation); }));
+      }
+      for (std::size_t k = 0; k < fit_jobs.size(); ++k) {
+        trees[fit_jobs[k]] = futures[k].get();
+      }
+    } else {
+      for (const std::size_t i : fit_jobs) trees[i] = fit_one(i, generation);
     }
-    for (std::size_t k = 0; k < jobs.size(); ++k) {
-      trees[jobs[k]] = futures[k].get();
-    }
-  } else {
-    for (const std::size_t i : jobs) trees[i] = fit_one(i);
-  }
+  };
 
-  for (const std::size_t i : jobs) {
-    f[i] = trees[i].to_aig(manager, feature_refs[i]);
-    ++stats.learned_candidates;
-    // Record which existentials actually appear in the candidate
-    // (Algorithm 2, lines 11-12).
-    for (const std::int32_t id : manager.support(f[i])) {
-      if (!formula.is_existential(static_cast<Var>(id))) continue;
-      const std::size_t j = formula.existential_index(static_cast<Var>(id));
-      if (dep.can_use(i, j)) dep.record_use(i, j);
+  // Extract the fitted trees to AIG candidates and record the existential
+  // features they actually use (Algorithm 2, lines 11-12). Serial, in
+  // index order — worker counts never influence the AIG or the
+  // dependency state.
+  const auto adopt_trees = [&](const std::vector<std::size_t>& fit_jobs) {
+    for (const std::size_t i : fit_jobs) {
+      f[i] = trees[i].to_aig(manager, feature_refs[i]);
+      for (const std::int32_t id : manager.support(f[i])) {
+        if (!formula.is_existential(static_cast<Var>(id))) continue;
+        const std::size_t j = formula.existential_index(static_cast<Var>(id));
+        if (dep.can_use(i, j) && !dep.depends_on(i, j)) dep.record_use(i, j);
+      }
     }
-  }
+  };
+
+  run_fits(jobs, 0);
+  adopt_trees(jobs);
+  stats.learned_candidates = jobs.size();
   stats.learning_seconds = phase_timer.seconds();
 
   // ---- FindOrder (Algorithm 1, line 8) -----------------------------------
-  const std::vector<std::size_t> order = dep.find_order();
+  std::vector<std::size_t> order;
   std::vector<std::size_t> order_pos(m, 0);
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    order_pos[order[pos]] = pos;
-  }
+  const auto refresh_order = [&]() {
+    order = dep.find_order();
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      order_pos[order[pos]] = pos;
+    }
+  };
+  refresh_order();
 
   const auto substitute_and_return = [&]() {
     // Substitute (Algorithm 1, line 19): walk Order from its tail so that
@@ -265,6 +341,99 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   }
   maxsat::IncrementalMaxSat repair_maxsat(phi_solver);
 
+  // Cross-round sample reuse, refit side: when the matrix has grown
+  // enough (or a round repaired nothing), batch-evaluate every live
+  // candidate over the packed matrix with the 64-way AIG simulator and
+  // refit exactly those that now disagree with the data. The refreshed
+  // candidates re-enter verification unchanged in soundness terms — only
+  // a verify-UNSAT certifies the vector.
+  std::size_t last_fit_samples = samples.num_samples();
+  const auto maybe_refit = [&](bool force) {
+    if (!options_.sample_reuse) return;
+    const std::size_t grown = samples.num_samples() - last_fit_samples;
+    if (grown == 0) return;
+    // Periodic refits wait for ~50% fresh data; a stuck round refits on
+    // whatever arrived.
+    if (!force && 2 * grown < last_fit_samples) return;
+    // Staleness screen. Periodic (growth-triggered) refits only touch
+    // candidates that mis-predict a row appended since the last fit:
+    // mismatches on older rows are either inherent (φ has several Y per
+    // X, so the matrix is not a function) or the work of UNSAT-core
+    // repairs that a routine refit must not throw away. A no-progress
+    // round inverts the calculus — repair is stuck by definition, so
+    // there the screen widens to the whole matrix and disagreeing
+    // candidates are relearned outright (the escape hatch that converts
+    // budget-exhausting families into certified ones; see
+    // bench/micro_core BM_ReuseRefit*).
+    const std::size_t screen_from = force ? 0 : last_fit_samples;
+    std::vector<std::size_t> refit_jobs;
+    for (const std::size_t i : jobs) {
+      // A refit pass is real work (m matrix simulations plus tree fits
+      // over the whole accumulated matrix); keep the PR-3 contract that
+      // cancellation/timeout is observed with bounded extra work by
+      // polling between candidates. Bailing out leaves last_fit_samples
+      // untouched — the loop head reports kTimeout next.
+      if (deadline.expired()) return;
+      const std::vector<std::uint64_t> sim =
+          aig::simulate_matrix(manager, f[i], samples);
+      if (packed_mismatches_since(sim, samples.column(ex[i].var), samples,
+                                  screen_from) != 0) {
+        refit_jobs.push_back(i);
+      }
+    }
+    last_fit_samples = samples.num_samples();
+    if (refit_jobs.empty()) return;
+    // Repair recorded dependency edges the pre-committed feature relation
+    // knows nothing about (a β may mention any Ŷ member), so a feature
+    // that was admissible at the previous fit can be cyclic now. Drop it
+    // before fitting — admissibility is monotone (edges only accumulate
+    // and every record site is can_use-guarded), so the shrunken set
+    // stays correct for every later refit too.
+    for (const std::size_t i : refit_jobs) {
+      std::size_t keep = 0;
+      for (std::size_t t = 0; t < feature_vars[i].size(); ++t) {
+        const Var v = feature_vars[i][t];
+        if (formula.is_existential(v)) {
+          const std::size_t j = formula.existential_index(v);
+          if (!dep.depends_on(i, j) && !dep.can_use(i, j)) continue;
+        }
+        feature_vars[i][keep] = v;
+        feature_refs[i][keep] = feature_refs[i][t];
+        ++keep;
+      }
+      feature_vars[i].resize(keep);
+      feature_refs[i].resize(keep);
+    }
+    ++stats.refit_rounds;
+    run_fits(refit_jobs, stats.refit_rounds);
+    // Adopt with a cycle guard: edges recorded while adopting earlier
+    // batch-mates can invalidate a feature this tree was fitted with; a
+    // candidate whose support became unrecordable is rejected (the
+    // repaired predecessor stays in place — still sound, the verify
+    // loop re-examines everything).
+    for (const std::size_t i : refit_jobs) {
+      const aig::Ref refit_f = trees[i].to_aig(manager, feature_refs[i]);
+      bool admissible = true;
+      for (const std::int32_t id : manager.support(refit_f)) {
+        if (!formula.is_existential(static_cast<Var>(id))) continue;
+        const std::size_t j = formula.existential_index(static_cast<Var>(id));
+        if (!dep.depends_on(i, j) && !dep.can_use(i, j)) {
+          admissible = false;
+          break;
+        }
+      }
+      if (!admissible) continue;
+      f[i] = refit_f;
+      ++stats.refit_candidates;
+      for (const std::int32_t id : manager.support(f[i])) {
+        if (!formula.is_existential(static_cast<Var>(id))) continue;
+        const std::size_t j = formula.existential_index(static_cast<Var>(id));
+        if (dep.can_use(i, j) && !dep.depends_on(i, j)) dep.record_use(i, j);
+      }
+    }
+    refresh_order();
+  };
+
   // Consecutive counterexamples for which no candidate could be repaired;
   // a fresh verification round may produce a different (repairable)
   // counterexample, so incompleteness is only declared after several
@@ -276,6 +445,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     if (stats.counterexamples >= options_.max_counterexamples) {
       return finish(SynthesisStatus::kLimit);
     }
+    maybe_refit(/*force=*/false);
 
     phase_timer.reset();
     // Vary the search seed per round so a stuck repair sees a different
@@ -330,6 +500,8 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     }
     const cnf::Assignment pi = phi_solver.model();
     ++stats.counterexamples;
+    // π is a full model of φ — fresh training data (reuse).
+    if (options_.sample_reuse) append_sample(pi);
 
     // σ = π[X] + π[Y] + δ[Y'] (line 16). The working Y'-values are the
     // current candidate outputs; they are updated as repairs land.
@@ -378,6 +550,13 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     if (ms_status == maxsat::MaxSatStatus::kUnsatisfiableHard) {
       // Cannot happen (π witnesses satisfiability); fail safe.
       return finish(SynthesisStatus::kIncomplete);
+    }
+    // The MaxSAT-corrected σ is a model of φ ∧ (X ↔ π[X]) closest to the
+    // candidate outputs — exactly the data point the learner was missing
+    // on this counterexample (reuse).
+    if (options_.sample_reuse) {
+      append_sample(options_.incremental ? repair_maxsat.model()
+                                         : oneshot_maxsat->model());
     }
     std::deque<std::size_t> queue;
     for (std::size_t i = 0; i < m; ++i) {
@@ -467,9 +646,12 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     stats.repair_seconds += phase_timer.seconds();
     if (repairs_this_cex == 0) {
       // No candidate could be repaired for this counterexample: the
-      // engine's documented incompleteness (§5). Retry a few rounds with
-      // randomized verification in case another counterexample is
-      // repairable, then give up.
+      // engine's documented incompleteness (§5). Refit from whatever
+      // counterexample data accumulated — a relearned candidate often
+      // escapes where core-guided patching is stuck — then retry a few
+      // rounds with randomized verification in case another
+      // counterexample is repairable, and only then give up.
+      maybe_refit(/*force=*/true);
       if (++no_progress_rounds >= kMaxNoProgressRounds) {
         return finish(SynthesisStatus::kIncomplete);
       }

@@ -62,6 +62,20 @@ struct Manthan3Options {
   /// so the oracle reproduces the old pipeline's *cost structure*, not
   /// its exact pre-refactor search trajectories.)
   bool incremental = true;
+  /// Fit decision trees straight from the bit-packed SampleMatrix
+  /// (popcount split counting). false = unpack per-existential rows and
+  /// run the row-wise learner — the differential oracle; both paths
+  /// produce bit-identical trees, so the whole synthesis trajectory
+  /// matches field-for-field at a fixed seed.
+  bool packed_learning = true;
+  /// Cross-round sample reuse: append every repair counterexample's
+  /// φ-extension π and each MaxSAT-corrected σ to the training matrix
+  /// (fingerprint-deduped), and refit candidates that disagree with the
+  /// refreshed data — screened by 64-way AIG simulation over the matrix —
+  /// when the matrix has grown substantially or a verification round made
+  /// no repair progress. Later refits therefore train on
+  /// counterexample-corrected data instead of the stale round-0 samples.
+  bool sample_reuse = true;
   std::uint64_t seed = 42;
 };
 
@@ -109,6 +123,17 @@ struct SynthesisStats {
   std::size_t phi_vars = 0;
   /// Clause records reclaimed by retirement in the φ/MaxSAT solver.
   std::size_t phi_clauses_retired = 0;
+  // --- cross-round sample reuse (zero when sample_reuse = false) ----------
+  /// Counterexample-derived samples appended to the training matrix
+  /// (π extensions and MaxSAT-corrected σ, deduped by fingerprint).
+  std::size_t samples_appended = 0;
+  /// Refit passes triggered by matrix growth / no-progress rounds.
+  std::size_t refit_rounds = 0;
+  /// Refit candidates adopted across all passes. Screened twice: only
+  /// candidates whose packed-sim predictions disagree with rows appended
+  /// since their last fit are refit, and a refit whose support would
+  /// create a dependency cycle is rejected (its predecessor stays).
+  std::size_t refit_candidates = 0;
 };
 
 struct SynthesisResult {

@@ -6,12 +6,23 @@
 // variables, labels are the sampled values of y_i. The candidate function
 // is the disjunction of all root-to-leaf paths ending in a leaf labeled 1,
 // extracted here directly as an AIG.
+//
+// Two fitting paths produce bit-identical trees from the same data:
+//   * the packed path consumes a cnf::SampleMatrix view directly — split
+//     statistics are popcounts over (active & column [& label]) words,
+//     with one active-row bitmask per tree node, so a feature scan costs
+//     features x words instead of features x samples bit reads;
+//   * the row-wise path over std::vector<bool> rows is kept as the
+//     differential oracle (and for callers without packed data). Counts,
+//     Gini arithmetic, tie-break rotation, and recursion order match the
+//     packed path exactly, which the test suite pins.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "cnf/sample_matrix.hpp"
 
 namespace manthan::dtree {
 
@@ -39,11 +50,25 @@ class DecisionTree {
     std::int32_t lo = -1;       // child for feature == false
     std::int32_t hi = -1;       // child for feature == true
     bool label = false;         // leaf prediction
+
+    bool operator==(const Node& o) const {
+      return feature == o.feature && lo == o.lo && hi == o.hi &&
+             label == o.label;
+    }
   };
 
   /// Fit from dense boolean rows. `rows[s][f]` is feature f of sample s.
   static DecisionTree fit(const std::vector<std::vector<bool>>& rows,
                           const std::vector<bool>& labels,
+                          const DtreeOptions& options = {});
+
+  /// Fit from a bit-packed matrix: feature f of sample s is
+  /// data.value(s, feature_vars[f]), its label data.value(s, label_var).
+  /// Split counting runs popcount over masked 64-sample words. Produces
+  /// exactly the tree the row-wise overload fits on the unpacked data.
+  static DecisionTree fit(const cnf::SampleMatrix& data,
+                          const std::vector<cnf::Var>& feature_vars,
+                          cnf::Var label_var,
                           const DtreeOptions& options = {});
 
   bool predict(const std::vector<bool>& row) const;
@@ -67,6 +92,14 @@ class DecisionTree {
                      const std::vector<bool>& labels,
                      std::vector<std::uint32_t>& indices, std::size_t depth,
                      const DtreeOptions& options);
+  std::int32_t build_packed(const std::vector<const std::uint64_t*>& cols,
+                            const std::uint64_t* label, std::size_t words,
+                            const std::vector<std::uint64_t>& active,
+                            std::size_t depth, const DtreeOptions& options);
+  std::int32_t build_sparse(const std::vector<const std::uint64_t*>& cols,
+                            const std::uint64_t* label,
+                            const std::vector<std::uint32_t>& indices,
+                            std::size_t depth, const DtreeOptions& options);
 
   std::vector<Node> nodes_;
 };

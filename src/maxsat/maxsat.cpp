@@ -75,6 +75,7 @@ MaxSatStatus IncrementalMaxSat::solve_round(const std::vector<Lit>& hard,
       for (std::size_t i = 0; i < soft.size(); ++i) {
         soft_value_[i] = model.value(soft[i]);
       }
+      model_ = model;
       status = MaxSatStatus::kOptimal;
       break;
     }

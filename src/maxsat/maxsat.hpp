@@ -70,6 +70,13 @@ class IncrementalMaxSat {
   /// solve_round().
   bool soft_satisfied(std::size_t index) const { return soft_value_[index]; }
 
+  /// The optimal assignment (the borrowed solver's full model at the
+  /// optimum, so it includes solver-internal selector variables above the
+  /// caller's block); valid after kOptimal. The synthesis loop appends it
+  /// — truncated to matrix variables — to the training matrix
+  /// (cross-round sample reuse: it is a model of φ ∧ (X ↔ π[X])).
+  const Assignment& model() const { return model_; }
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -77,6 +84,7 @@ class IncrementalMaxSat {
 
   sat::Solver& solver_;
   std::vector<bool> soft_value_;
+  Assignment model_;
   std::size_t cost_ = 0;
   /// Round-local selector/relaxation variables, recycled across rounds:
   /// after retire() every clause (and learnt clause) mentioning them is

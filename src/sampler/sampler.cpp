@@ -6,31 +6,67 @@
 
 namespace manthan::sampler {
 
+namespace {
+
+/// Population count of variable `v`'s packed column.
+std::size_t column_popcount(const cnf::SampleMatrix& m, Var v) {
+  std::size_t trues = 0;
+  const std::uint64_t* col = m.column(v);
+  for (std::size_t w = 0; w < m.num_words(); ++w) {
+    trues += static_cast<std::size_t>(__builtin_popcountll(col[w]));
+  }
+  return trues;
+}
+
+}  // namespace
+
 Sampler::Sampler(SamplerOptions options) : options_(options) {}
 
-std::vector<Assignment> Sampler::sample(const CnfFormula& formula,
-                                        const std::vector<Var>& bias_vars,
-                                        const util::Deadline* deadline) {
-  std::vector<Assignment> samples;
+cnf::SampleMatrix Sampler::sample_packed(const CnfFormula& formula,
+                                         const std::vector<Var>& bias_vars,
+                                         const util::Deadline* deadline) {
+  cnf::SampleMatrix matrix(formula.num_vars());
+  stats_ = SamplerStats{};
   // Randomized branching can rediscover the same model; the training set
-  // must contain distinct assignments, so repeats are dropped and the
-  // draw loop tops itself up. A duplicate budget bounds the extra solver
-  // calls when the formula has fewer models than requested.
-  std::unordered_set<std::vector<bool>> seen;
+  // must contain distinct assignments, so repeats are dropped (by 64-bit
+  // model fingerprint — see cnf::fingerprint on the collision odds) and
+  // the draw loop tops itself up. A duplicate budget bounds the extra
+  // descents when the formula has fewer models than requested.
+  std::unordered_set<std::uint64_t> seen;
 
   const auto draw = [&](sat::Solver& solver, std::size_t count) {
+    if (count == 0) return;
     std::size_t duplicates = 0;
     const std::size_t max_duplicates = 16 + 4 * count;
+    if (options_.enumerate) {
+      // Persistent enumerating session: the deadline/duplicate budget is
+      // polled inside the harvest loop, one check per descent.
+      const sat::ModelSink sink = [&](const Assignment& model) {
+        if (deadline != nullptr && deadline->expired()) return false;
+        if (seen.insert(cnf::fingerprint(model, matrix.num_vars()))
+                .second) {
+          matrix.append(model);
+          return --count > 0;
+        }
+        ++stats_.duplicates;
+        return ++duplicates < max_duplicates;
+      };
+      solver.enumerate(sink, {}, deadline);
+      return;
+    }
+    // Legacy loop: one full CDCL solve per model (distribution oracle).
     while (count > 0) {
       if (deadline != nullptr && deadline->expired()) break;
       const sat::Result result =
           deadline != nullptr ? solver.solve({}, *deadline) : solver.solve();
       if (result != sat::Result::kSat) break;
-      if (seen.insert(solver.model().bits()).second) {
-        samples.push_back(solver.model());
+      if (seen.insert(cnf::fingerprint(solver.model(), matrix.num_vars()))
+              .second) {
+        matrix.append(solver.model());
         --count;
-      } else if (++duplicates >= max_duplicates) {
-        break;
+      } else {
+        ++stats_.duplicates;
+        if (++duplicates >= max_duplicates) break;
       }
     }
   };
@@ -40,27 +76,30 @@ std::vector<Assignment> Sampler::sample(const CnfFormula& formula,
   probe_options.random_polarity = true;
   probe_options.random_branch_freq = options_.random_branch_freq;
   probe_options.seed = options_.seed;
-  sat::Solver probe_solver(probe_options);
-  if (!probe_solver.add_formula(formula)) return {};
+  sat::Solver solver(probe_options);
+  if (!solver.add_formula(formula)) return matrix;
   const std::size_t probe_count =
       options_.adaptive ? std::min(options_.probe_samples,
                                    options_.num_samples)
                         : options_.num_samples;
-  draw(probe_solver, probe_count);
-  if (samples.empty()) return {};
-  if (!options_.adaptive || samples.size() >= options_.num_samples) {
-    return samples;
+  draw(solver, probe_count);
+  stats_.probe_samples = matrix.num_samples();
+  if (matrix.empty()) return matrix;
+  // An expired deadline must short-circuit here: the old code broke out
+  // of the probe draw only to spin up (and immediately abandon) the
+  // main-round solver.
+  if (deadline != nullptr && deadline->expired()) return matrix;
+  if (!options_.adaptive || matrix.num_samples() >= options_.num_samples) {
+    return matrix;
   }
 
-  // Estimate skew of each bias variable across the probe models.
+  // Estimate skew of each bias variable across the probe models: one
+  // popcount pass over the packed column.
   std::vector<double> bias(static_cast<std::size_t>(formula.num_vars()), 0.5);
   for (const Var v : bias_vars) {
-    std::size_t trues = 0;
-    for (const Assignment& a : samples) {
-      if (a.value(v)) ++trues;
-    }
     const double fraction =
-        static_cast<double>(trues) / static_cast<double>(samples.size());
+        static_cast<double>(column_popcount(matrix, v)) /
+        static_cast<double>(matrix.num_samples());
     if (fraction >= options_.skew_high) {
       bias[static_cast<std::size_t>(v)] = options_.strong_bias;
     } else if (fraction <= options_.skew_low) {
@@ -69,12 +108,36 @@ std::vector<Assignment> Sampler::sample(const CnfFormula& formula,
   }
 
   // Main round with the learned biases.
-  sat::SolverOptions main_options = probe_options;
-  main_options.seed = options_.seed ^ 0x5deece66dULL;
-  main_options.polarity_bias = bias;
-  sat::Solver main_solver(main_options);
-  if (!main_solver.add_formula(formula)) return samples;
-  draw(main_solver, options_.num_samples - samples.size());
+  stats_.main_round = true;
+  const std::uint64_t main_seed = options_.seed ^ 0x5deece66dULL;
+  if (options_.enumerate) {
+    // Same session keeps its learnt clauses; only the polarity bias and
+    // the decision RNG stream change between rounds.
+    solver.options().polarity_bias = bias;
+    solver.reseed(main_seed);
+    draw(solver, options_.num_samples - matrix.num_samples());
+  } else {
+    sat::SolverOptions main_options = probe_options;
+    main_options.seed = main_seed;
+    main_options.polarity_bias = bias;
+    sat::Solver main_solver(main_options);
+    if (!main_solver.add_formula(formula)) return matrix;
+    draw(main_solver, options_.num_samples - matrix.num_samples());
+  }
+  stats_.main_samples = matrix.num_samples() - stats_.probe_samples;
+  return matrix;
+}
+
+std::vector<Assignment> Sampler::sample(const CnfFormula& formula,
+                                        const std::vector<Var>& bias_vars,
+                                        const util::Deadline* deadline) {
+  const cnf::SampleMatrix matrix =
+      sample_packed(formula, bias_vars, deadline);
+  std::vector<Assignment> samples;
+  samples.reserve(matrix.num_samples());
+  for (std::size_t s = 0; s < matrix.num_samples(); ++s) {
+    samples.push_back(matrix.row(s));
+  }
   return samples;
 }
 

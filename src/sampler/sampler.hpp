@@ -2,21 +2,31 @@
 //
 // Role in the paper: CMSGen. GetSamples (Algorithm 1, line 1) draws
 // quasi-uniform models of the specification to serve as training data for
-// candidate learning. We run our CDCL solver with randomized branching and
-// randomized decision polarities; each call yields one model, and fresh
-// randomness decorrelates successive models.
+// candidate learning.
+//
+// Front end (default): one persistent *enumerating* solver session per
+// sampling run — the CDCL search hands back a model per phase-scrambled
+// descent (sat::Solver::enumerate) instead of paying a full solve() call
+// per model, duplicates are dropped by 64-bit model fingerprint instead of
+// hashing whole vector<bool> keys, and models land directly in a
+// column-major bit-packed cnf::SampleMatrix (one uint64_t word per 64
+// samples per variable) that the decision-tree learner and the AIG
+// batch simulator consume without re-packing. The pre-existing
+// one-solve-per-model loop is kept behind `enumerate = false` as the
+// distribution oracle and benchmark baseline.
 //
 // Adaptive weighting (as in Manthan): a small probe round with unbiased
 // polarities measures, for each output variable, the fraction of models in
-// which it is true; variables with a strong skew get their polarity bias
-// pushed towards the majority value (0.9/0.1), which concentrates the data
-// in the region the learner must fit, dramatically reducing repair load on
-// skewed specifications.
+// which it is true (a popcount over the packed column); variables with a
+// strong skew get their polarity bias pushed towards the majority value
+// (0.9/0.1), which concentrates the data in the region the learner must
+// fit, dramatically reducing repair load on skewed specifications.
 #pragma once
 
 #include <vector>
 
 #include "cnf/cnf.hpp"
+#include "cnf/sample_matrix.hpp"
 #include "util/timer.hpp"
 
 namespace manthan::sampler {
@@ -36,27 +46,59 @@ struct SamplerOptions {
   /// Skew thresholds: fraction of true above/below which bias kicks in.
   double skew_high = 0.65;
   double skew_low = 0.35;
-  /// Fraction of random decisions in the underlying solver.
+  /// Fraction of random decisions in the underlying solver (legacy
+  /// one-solve-per-model path only; the enumerating session branches on a
+  /// fresh random permutation every descent instead).
   double random_branch_freq = 0.2;
+  /// Harvest models from a persistent enumerating solver session (one
+  /// phase-scrambled descent per model). false = the legacy loop running
+  /// one full CDCL solve() per model — kept as the distribution oracle
+  /// and the before/after benchmark baseline.
+  bool enumerate = true;
   std::uint64_t seed = 42;
+};
+
+/// Counters of the most recent sample()/sample_packed() call.
+struct SamplerStats {
+  /// Distinct models drawn in the probe round (== all models when the
+  /// adaptive stage is disabled).
+  std::size_t probe_samples = 0;
+  /// Distinct models added by the biased main round.
+  std::size_t main_samples = 0;
+  /// Whether a main-round draw ran at all. Stays false when the deadline
+  /// expired during the probe round (the caller-facing fix for the old
+  /// bug where an expired deadline still spun up the main-round solver).
+  bool main_round = false;
+  /// Rediscovered models dropped by fingerprint.
+  std::size_t duplicates = 0;
 };
 
 class Sampler {
  public:
   explicit Sampler(SamplerOptions options = {});
 
-  /// Draw up to options.num_samples models of `formula`. `bias_vars` are
-  /// the variables subject to adaptive weighting (the Y variables in
-  /// Manthan3). Returns an empty vector iff the formula is UNSAT.
-  /// The returned assignments are pairwise distinct: repeated models are
-  /// dropped and redrawn, so fewer than num_samples samples may come back
-  /// when the formula has fewer models than requested.
+  /// Draw up to options.num_samples models of `formula` into a bit-packed
+  /// matrix over the formula's variables. `bias_vars` are the variables
+  /// subject to adaptive weighting (the Y variables in Manthan3). Returns
+  /// an empty matrix iff the formula is UNSAT (or the deadline expired
+  /// before the first model). Samples are pairwise distinct: repeated
+  /// models are dropped by fingerprint and the draw loop tops itself up,
+  /// bounded by a duplicate budget when the formula has fewer models than
+  /// requested.
+  cnf::SampleMatrix sample_packed(const CnfFormula& formula,
+                                  const std::vector<Var>& bias_vars,
+                                  const util::Deadline* deadline = nullptr);
+
+  /// Row-unpacked convenience wrapper around sample_packed().
   std::vector<Assignment> sample(const CnfFormula& formula,
                                  const std::vector<Var>& bias_vars,
                                  const util::Deadline* deadline = nullptr);
 
+  const SamplerStats& stats() const { return stats_; }
+
  private:
   SamplerOptions options_;
+  SamplerStats stats_;
 };
 
 }  // namespace manthan::sampler

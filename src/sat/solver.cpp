@@ -612,6 +612,16 @@ std::uint32_t Solver::lbd_of_clause(ClauseRef cref) {
 // Decisions and clause DB reduction
 // ---------------------------------------------------------------------------
 
+bool Solver::pick_polarity(Var v) {
+  if (options_.random_polarity) {
+    const auto i = static_cast<std::size_t>(v);
+    const double p_true =
+        i < options_.polarity_bias.size() ? options_.polarity_bias[i] : 0.5;
+    return rng_.flip(p_true);
+  }
+  return saved_phase_[static_cast<std::size_t>(v)];
+}
+
 Lit Solver::pick_branch_lit() {
   Var next = cnf::kNoVar;
   if (options_.random_branch_freq > 0.0 &&
@@ -625,17 +635,39 @@ Lit Solver::pick_branch_lit() {
     if (order_.empty()) return cnf::kUndefLit;
     next = order_.remove_max();
   }
-  bool polarity;
-  if (options_.random_polarity) {
-    const auto v = static_cast<std::size_t>(next);
-    const double p_true = v < options_.polarity_bias.size()
-                              ? options_.polarity_bias[v]
-                              : 0.5;
-    polarity = rng_.flip(p_true);
-  } else {
-    polarity = saved_phase_[static_cast<std::size_t>(next)];
+  return Lit(next, !pick_polarity(next));
+}
+
+Lit Solver::pick_enum_lit() {
+  // Enumeration decisions scan the shuffled permutation instead of the
+  // VSIDS heap: the heap costs O(log n) per decision plus a full
+  // reinsert-and-drain cycle per restart, which dominates descents on
+  // model-rich formulas where every model needs a root restart.
+  while (enum_cursor_ < enum_order_.size()) {
+    const Var v = enum_order_[enum_cursor_];
+    if (value(v) == LBool::kUndef) return Lit(v, !pick_polarity(v));
+    ++enum_cursor_;
   }
-  return Lit(next, !polarity);
+  return cnf::kUndefLit;
+}
+
+void Solver::scramble_for_descent() {
+  // Fisher-Yates over the decision permutation: each descent branches in
+  // a fresh random order, decorrelating successive models.
+  enum_order_.resize(static_cast<std::size_t>(num_vars()));
+  for (Var v = 0; v < num_vars(); ++v) {
+    enum_order_[static_cast<std::size_t>(v)] = v;
+  }
+  for (std::size_t i = enum_order_.size(); i > 1; --i) {
+    std::swap(enum_order_[i - 1], enum_order_[rng_.next_below(i)]);
+  }
+  enum_cursor_ = 0;
+  if (!options_.random_polarity) {
+    // Phase scramble: saved phases would replay the previous model.
+    for (std::size_t v = 0; v < saved_phase_.size(); ++v) {
+      saved_phase_[v] = rng_.flip();
+    }
+  }
 }
 
 bool Solver::clause_locked(ClauseRef cref) const {
@@ -782,12 +814,20 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
   return search_loop(assumptions, &deadline);
 }
 
+Result Solver::enumerate(const ModelSink& sink,
+                         const std::vector<Lit>& assumptions,
+                         const util::Deadline* deadline) {
+  return search_loop(assumptions, deadline, &sink);
+}
+
 Result Solver::search_loop(const std::vector<Lit>& assumptions,
-                           const util::Deadline* deadline) {
+                           const util::Deadline* deadline,
+                           const ModelSink* sink) {
   core_.clear();
   if (!ok_) return Result::kUnsat;
   for (const Lit a : assumptions) ensure_vars(a.var() + 1);
   cancel_until(0);
+  if (sink != nullptr) scramble_for_descent();
   if (propagate() != kNoReason) {
     ok_ = false;
     return Result::kUnsat;
@@ -839,6 +879,9 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
         // learnt clause's asserting literal stays valid because bt_level
         // is computed from the clause itself.
         cancel_until(bt_level);
+        // The backjump unassigned variables the enumeration cursor already
+        // passed; rescan from the front (assigned prefixes skip fast).
+        if (sink != nullptr) enum_cursor_ = 0;
         if (learnt.size() == 1) {
           if (decision_level() > 0) cancel_until(0);
           enqueue(learnt[0], kNoReason);
@@ -853,6 +896,7 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
         if (conflicts_this_round >= budget) {
           ++stats_.restarts;
           cancel_until(0);
+          if (sink != nullptr) enum_cursor_ = 0;
           break;  // restart
         }
         continue;
@@ -879,9 +923,39 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
         enqueue(a, kNoReason);
         continue;
       }
-      const Lit next = pick_branch_lit();
+      const Lit next = sink != nullptr ? pick_enum_lit() : pick_branch_lit();
       if (next == cnf::kUndefLit) {
         extract_model();
+        if (sink != nullptr) {
+          ++stats_.enumerated_models;
+          if (!(*sink)(model_)) {
+            cancel_until(0);
+            return Result::kSat;
+          }
+          // Phase-scrambled rapid restart. The backjump target is a
+          // *random* level above the assumption prefix (CMSGen-style
+          // random backtracking), biased deep (max of two uniform draws:
+          // ~1/3 of the descent redone per model) — shallow cuts still
+          // occur with quadratically decaying probability, so the search
+          // keeps returning towards the root and no prefix gets pinned.
+          // Decision order and phases are re-scrambled so the redone
+          // suffix branches freshly, and the Luby round restarts so the
+          // next harvest is immediate.
+          const auto floor_level =
+              static_cast<std::int32_t>(assumptions.size());
+          std::int32_t target = floor_level;
+          if (decision_level() > floor_level) {
+            const auto span =
+                static_cast<std::uint64_t>(decision_level() - floor_level);
+            target += static_cast<std::int32_t>(
+                std::max(rng_.next_below(span), rng_.next_below(span)));
+          }
+          cancel_until(target);
+          scramble_for_descent();
+          ++stats_.restarts;
+          restart_round = 0;
+          break;
+        }
         cancel_until(0);
         return Result::kSat;
       }

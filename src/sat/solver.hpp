@@ -61,6 +61,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -131,7 +132,13 @@ struct SolverStats {
   std::uint64_t retired_clauses = 0;
   /// Activation literals retired so far.
   std::uint64_t retired_activations = 0;
+  /// Models harvested by enumerate() sessions (one per descent).
+  std::uint64_t enumerated_models = 0;
 };
+
+/// Model sink for enumerate(): invoked at every satisfying total
+/// assignment with the solver's model; return true to keep harvesting.
+using ModelSink = std::function<bool(const Assignment&)>;
 
 /// Incremental CDCL solver with assumptions and UNSAT-core extraction.
 class Solver {
@@ -191,6 +198,27 @@ class Solver {
   /// propagation) solves are interruptible too.
   Result solve(const std::vector<Lit>& assumptions,
                const util::Deadline& deadline);
+
+  /// Enumerating session (the sampler's harvest loop): one persistent
+  /// search that hands every satisfying total assignment to `sink` and —
+  /// if it returns true — performs a phase-scrambled rapid restart and
+  /// keeps descending, instead of the caller paying one full solve() per
+  /// model. Decisions use a per-descent random permutation of the
+  /// variables (CMSGen-style scrambled branching) rather than the VSIDS
+  /// heap, so a restart costs O(vars) instead of O(vars log vars) heap
+  /// churn; conflicts still run the full CDCL machinery (learnt clauses
+  /// steer later descents away from dead subspaces). Decision polarities
+  /// follow SolverOptions (random_polarity / polarity_bias / saved
+  /// phases; saved phases are re-scrambled after each model).
+  ///
+  /// Returns kUnsat if no model exists, kSat once `sink` stops the
+  /// session, kUnknown when the deadline expires (models may already have
+  /// been harvested — the sink has seen them). No blocking clauses are
+  /// added, so the session can revisit a model; callers deduplicate by
+  /// fingerprint (cnf::fingerprint) and budget the repeats.
+  Result enumerate(const ModelSink& sink,
+                   const std::vector<Lit>& assumptions = {},
+                   const util::Deadline* deadline = nullptr);
 
   /// Complete satisfying assignment; valid after solve() returned kSat.
   const Assignment& model() const { return model_; }
@@ -318,6 +346,9 @@ class Solver {
   bool literal_redundant(Lit p, std::uint32_t abstract_levels);
   void analyze_final(Lit p, std::vector<Lit>& out_core);
   Lit pick_branch_lit();
+  Lit pick_enum_lit();
+  bool pick_polarity(Var v);
+  void scramble_for_descent();
   ClauseRef attach_new_clause(const std::vector<Lit>& lits, bool learnt,
                               std::uint32_t lbd);
   void attach_watches(ClauseRef cref);
@@ -337,7 +368,8 @@ class Solver {
   void clause_bump_activity(ClauseRef cref);
   void clause_decay_activity();
   Result search_loop(const std::vector<Lit>& assumptions,
-                     const util::Deadline* deadline);
+                     const util::Deadline* deadline,
+                     const ModelSink* sink = nullptr);
   void extract_model();
   static std::int64_t luby(std::int64_t i);
 
@@ -369,6 +401,10 @@ class Solver {
 
   std::vector<std::uint8_t> seen_;
   std::vector<Lit> analyze_stack_;
+  // Enumerating-session decision order: a per-descent shuffled variable
+  // permutation scanned by a cursor (reset on every backjump/restart).
+  std::vector<Var> enum_order_;
+  std::size_t enum_cursor_ = 0;
   // Scratch buffer for add_clause normalization (avoids a heap
   // allocation per added clause — MaxSAT relaxation adds thousands).
   std::vector<Lit> add_tmp_;

@@ -142,6 +142,127 @@ TEST(DecisionTree, PerfectFitOnNoiseFreeData) {
   }
 }
 
+// --- packed vs row-wise differential ---------------------------------------
+// The popcount path over a SampleMatrix must emit *bit-identical* node
+// arrays to the row-wise oracle on the unpacked data: same counts, same
+// Gini arithmetic, same seed-rotated tie-breaks, same recursion order.
+
+struct PackedCase {
+  cnf::SampleMatrix matrix{0};
+  std::vector<cnf::Var> feature_vars;
+  cnf::Var label_var = 0;
+  std::vector<std::vector<bool>> rows;
+  std::vector<bool> labels;
+};
+
+/// Random matrix over `vars` variables; features are a random subset of
+/// the non-label variables (order shuffled), labels a noisy function of
+/// three of them.
+PackedCase make_case(std::size_t samples, std::size_t vars,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  PackedCase c;
+  c.matrix = cnf::SampleMatrix(static_cast<cnf::Var>(vars));
+  c.label_var = static_cast<cnf::Var>(rng.next_below(vars));
+  for (std::size_t v = 0; v < vars; ++v) {
+    if (static_cast<cnf::Var>(v) != c.label_var && rng.flip(0.8)) {
+      c.feature_vars.push_back(static_cast<cnf::Var>(v));
+    }
+  }
+  for (std::size_t i = c.feature_vars.size(); i > 1; --i) {
+    std::swap(c.feature_vars[i - 1], c.feature_vars[rng.next_below(i)]);
+  }
+  for (std::size_t s = 0; s < samples; ++s) {
+    cnf::Assignment a(vars);
+    for (std::size_t v = 0; v < vars; ++v) {
+      a.set(static_cast<cnf::Var>(v), rng.flip());
+    }
+    // Correlate the label with the first features so trees have depth.
+    if (c.feature_vars.size() >= 3 && !rng.flip(0.1)) {
+      const bool f0 = a.value(c.feature_vars[0]);
+      const bool f1 = a.value(c.feature_vars[1]);
+      const bool f2 = a.value(c.feature_vars[2]);
+      a.set(c.label_var, (f0 && f1) || f2);
+    }
+    c.matrix.append(a);
+    std::vector<bool> row;
+    for (const cnf::Var v : c.feature_vars) row.push_back(a.value(v));
+    c.rows.push_back(std::move(row));
+    c.labels.push_back(a.value(c.label_var));
+  }
+  return c;
+}
+
+TEST(DecisionTreePacked, BitIdenticalToRowwiseAcrossMatricesAndSeeds) {
+  for (const std::uint64_t data_seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const PackedCase c = make_case(50 + 37 * data_seed, 12, data_seed);
+    for (const std::uint64_t stream :
+         {0ull, 42ull, 0x9e3779b97f4a7c15ull}) {
+      DtreeOptions options;
+      options.seed = stream;
+      const DecisionTree packed =
+          DecisionTree::fit(c.matrix, c.feature_vars, c.label_var, options);
+      const DecisionTree rowwise =
+          DecisionTree::fit(c.rows, c.labels, options);
+      ASSERT_EQ(packed.nodes().size(), rowwise.nodes().size())
+          << "data " << data_seed << " stream " << stream;
+      EXPECT_EQ(packed.nodes(), rowwise.nodes())
+          << "data " << data_seed << " stream " << stream;
+    }
+  }
+}
+
+TEST(DecisionTreePacked, BitIdenticalUnderFitOptions) {
+  const PackedCase c = make_case(300, 16, 99);
+  for (const double min_gain : {-1.0, 1e-9, 0.01}) {
+    for (const std::size_t max_depth : {0ul, 2ul, 5ul}) {
+      DtreeOptions options;
+      options.min_gain = min_gain;
+      options.max_depth = max_depth;
+      options.min_samples_split = 4;
+      options.seed = 7;
+      const DecisionTree packed =
+          DecisionTree::fit(c.matrix, c.feature_vars, c.label_var, options);
+      const DecisionTree rowwise =
+          DecisionTree::fit(c.rows, c.labels, options);
+      EXPECT_EQ(packed.nodes(), rowwise.nodes())
+          << "min_gain " << min_gain << " max_depth " << max_depth;
+    }
+  }
+}
+
+TEST(DecisionTreePacked, WordBoundarySizes) {
+  // Exactly 64/128 samples (full tail mask) and 1/63/65 (partial masks).
+  for (const std::size_t samples : {1ul, 63ul, 64ul, 65ul, 128ul}) {
+    const PackedCase c = make_case(samples, 8, samples);
+    DtreeOptions options;
+    options.seed = 3;
+    const DecisionTree packed =
+        DecisionTree::fit(c.matrix, c.feature_vars, c.label_var, options);
+    const DecisionTree rowwise = DecisionTree::fit(c.rows, c.labels, options);
+    EXPECT_EQ(packed.nodes(), rowwise.nodes()) << samples << " samples";
+  }
+}
+
+TEST(DecisionTreePacked, EmptyMatrixGivesFalseLeaf) {
+  const cnf::SampleMatrix empty(4);
+  const DecisionTree t = DecisionTree::fit(empty, {0, 1, 2}, 3);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_FALSE(t.predict({false, false, false}));
+}
+
+TEST(DecisionTreePacked, DuplicateFeatureVariablesAllowed) {
+  // The same variable may appear as several features (never profitable
+  // after the first split, but must not diverge from the oracle).
+  PackedCase c = make_case(80, 6, 21);
+  c.feature_vars.push_back(c.feature_vars[0]);
+  for (auto& row : c.rows) row.push_back(row[0]);
+  const DecisionTree packed =
+      DecisionTree::fit(c.matrix, c.feature_vars, c.label_var, {});
+  const DecisionTree rowwise = DecisionTree::fit(c.rows, c.labels, {});
+  EXPECT_EQ(packed.nodes(), rowwise.nodes());
+}
+
 TEST(DecisionTree, LeafAndDepthAccounting) {
   const auto rows = all_rows(2);
   std::vector<bool> labels{false, true, true, false};  // xor

@@ -224,6 +224,67 @@ TEST(Manthan3, StatsArepopulated) {
   }
 }
 
+TEST(Manthan3, PackedLearningMatchesRowwiseOracleEndToEnd) {
+  // packed_learning only changes the split-counting machinery; the trees
+  // are bit-identical, so the *entire* synthesis trajectory — functions,
+  // counterexamples, repairs, refits — must match field-for-field.
+  for (const std::uint64_t seed : {5ull, 23ull, 71ull}) {
+    const dqbf::DqbfFormula f = testutil::small_planted(seed);
+    Manthan3Options packed_options;
+    packed_options.time_limit_seconds = 30.0;
+    packed_options.packed_learning = true;
+    Manthan3Options rowwise_options = packed_options;
+    rowwise_options.packed_learning = false;
+    aig::Aig packed_manager;
+    const SynthesisResult packed =
+        Manthan3(packed_options).synthesize(f, packed_manager);
+    aig::Aig rowwise_manager;
+    const SynthesisResult rowwise =
+        Manthan3(rowwise_options).synthesize(f, rowwise_manager);
+    ASSERT_EQ(packed.status, rowwise.status) << "seed " << seed;
+    EXPECT_EQ(packed.vector.functions, rowwise.vector.functions)
+        << "seed " << seed;
+    EXPECT_EQ(packed.stats.samples, rowwise.stats.samples);
+    EXPECT_EQ(packed.stats.counterexamples, rowwise.stats.counterexamples);
+    EXPECT_EQ(packed.stats.repairs, rowwise.stats.repairs);
+    EXPECT_EQ(packed.stats.repair_checks, rowwise.stats.repair_checks);
+    EXPECT_EQ(packed.stats.refit_rounds, rowwise.stats.refit_rounds);
+    EXPECT_EQ(packed.stats.refit_candidates, rowwise.stats.refit_candidates);
+    EXPECT_EQ(packed.stats.samples_appended, rowwise.stats.samples_appended);
+  }
+}
+
+TEST(Manthan3, SampleReuseStaysSoundAndCertified) {
+  // Counterexample-heavy nested-dependency instance: reuse appends
+  // samples and refits candidates mid-run; whatever the outcome, any
+  // kRealizable answer must certify, and the reuse counters move.
+  workloads::PlantedParams params{12, 6, 4, 6, 80, 7};
+  params.nested_deps = true;
+  params.dep_size_max = 10;
+  const dqbf::DqbfFormula f = workloads::gen_planted(params);
+  Manthan3Options options;
+  options.time_limit_seconds = 30.0;
+  options.sample_reuse = true;
+  aig::Aig manager;
+  const SynthesisResult result = run(f, manager, options);
+  if (result.status == SynthesisStatus::kRealizable) {
+    expect_certified(f, manager, result);
+  }
+  if (result.stats.counterexamples > 0) {
+    EXPECT_GT(result.stats.samples_appended, 0u);
+  }
+  // And the reuse-disabled run also stays sound on the same instance.
+  Manthan3Options no_reuse = options;
+  no_reuse.sample_reuse = false;
+  aig::Aig manager2;
+  const SynthesisResult baseline = run(f, manager2, no_reuse);
+  if (baseline.status == SynthesisStatus::kRealizable) {
+    expect_certified(f, manager2, baseline);
+  }
+  EXPECT_EQ(baseline.stats.samples_appended, 0u);
+  EXPECT_EQ(baseline.stats.refit_rounds, 0u);
+}
+
 // Soundness property sweep: across many generated instances and seeds,
 // every kRealizable answer certifies and every planted-True family is
 // never declared unrealizable.

@@ -1,0 +1,182 @@
+// Bit-packed SampleMatrix: layout, growth, fingerprints, and the 64-way
+// AIG batch simulator against the scalar evaluator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "aig/aig.hpp"
+#include "aig/aig_sim.hpp"
+#include "cnf/sample_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace manthan::cnf {
+namespace {
+
+Assignment random_assignment(std::size_t num_vars, util::Rng& rng) {
+  Assignment a(num_vars);
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    a.set(static_cast<Var>(v), rng.flip());
+  }
+  return a;
+}
+
+TEST(SampleMatrix, RoundTripsRowsAcrossWordBoundaries) {
+  // 200 samples x 13 vars: crosses three 64-sample word boundaries.
+  util::Rng rng(3);
+  SampleMatrix m(13);
+  std::vector<Assignment> rows;
+  for (int s = 0; s < 200; ++s) {
+    rows.push_back(random_assignment(13, rng));
+    m.append(rows.back());
+  }
+  ASSERT_EQ(m.num_samples(), 200u);
+  EXPECT_EQ(m.num_words(), 4u);
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    EXPECT_EQ(m.row(s), rows[s]) << "sample " << s;
+    for (Var v = 0; v < 13; ++v) {
+      EXPECT_EQ(m.value(s, v), rows[s].value(v));
+    }
+  }
+}
+
+TEST(SampleMatrix, ColumnBitsMatchValues) {
+  util::Rng rng(7);
+  SampleMatrix m(5);
+  for (int s = 0; s < 70; ++s) m.append(random_assignment(5, rng));
+  for (Var v = 0; v < 5; ++v) {
+    const std::uint64_t* col = m.column(v);
+    for (std::size_t s = 0; s < m.num_samples(); ++s) {
+      EXPECT_EQ(((col[s >> 6] >> (s & 63)) & 1) != 0, m.value(s, v));
+    }
+  }
+}
+
+TEST(SampleMatrix, TailBitsStayZero) {
+  // Tail bits beyond num_samples() must be zero so popcounts over
+  // un-complemented terms need no masking (decision_tree relies on it).
+  util::Rng rng(11);
+  SampleMatrix m(4);
+  Assignment all_true(4, true);
+  for (int s = 0; s < 67; ++s) m.append(all_true);
+  ASSERT_EQ(m.num_words(), 2u);
+  EXPECT_EQ(m.tail_mask(), (1ULL << 3) - 1);
+  for (Var v = 0; v < 4; ++v) {
+    EXPECT_EQ(m.column(v)[1] & ~m.tail_mask(), 0u);
+  }
+}
+
+TEST(SampleMatrix, TailMaskFullWhenAligned) {
+  SampleMatrix m(2);
+  for (int s = 0; s < 64; ++s) m.append(Assignment(2, true));
+  EXPECT_EQ(m.num_words(), 1u);
+  EXPECT_EQ(m.tail_mask(), ~0ULL);
+}
+
+TEST(SampleMatrix, AppendIgnoresVariablesAboveTheMatrixBlock) {
+  // Solver models carry selector/Tseitin variables above the matrix
+  // block; append must read only the first num_vars values.
+  SampleMatrix m(3);
+  Assignment a(10, true);
+  m.append(a);
+  EXPECT_EQ(m.row(0), Assignment(3, true));
+}
+
+TEST(Fingerprint, DistinctAssignmentsDistinctFingerprints) {
+  // 1000 random 100-var assignments: no collisions expected at 64 bits.
+  util::Rng rng(5);
+  std::set<std::uint64_t> fps;
+  std::set<std::vector<bool>> distinct;
+  for (int i = 0; i < 1000; ++i) {
+    const Assignment a = random_assignment(100, rng);
+    if (distinct.insert(a.bits()).second) {
+      EXPECT_TRUE(fps.insert(fingerprint(a)).second);
+    }
+  }
+}
+
+TEST(Fingerprint, EqualOnTruncatedPrefix) {
+  // fingerprint(a, n) must agree between a full solver model and the
+  // matrix row it produces (the cross-round reuse dedup contract).
+  util::Rng rng(9);
+  const Assignment full = random_assignment(150, rng);
+  SampleMatrix m(90);
+  m.append(full);
+  EXPECT_EQ(fingerprint(full, 90), fingerprint(m.row(0)));
+  EXPECT_NE(fingerprint(full, 90), fingerprint(full, 91));
+}
+
+TEST(Fingerprint, RowFingerprintMatchesUnpackedFingerprint) {
+  util::Rng rng(21);
+  SampleMatrix m(130);
+  for (int s = 0; s < 70; ++s) m.append(random_assignment(130, rng));
+  for (std::size_t s = 0; s < m.num_samples(); ++s) {
+    EXPECT_EQ(m.row_fingerprint(s), fingerprint(m.row(s))) << "sample " << s;
+  }
+}
+
+TEST(Fingerprint, SensitiveToEveryBit) {
+  util::Rng rng(13);
+  const Assignment base = random_assignment(130, rng);
+  const std::uint64_t h = fingerprint(base);
+  for (Var v = 0; v < 130; ++v) {
+    Assignment flipped = base;
+    flipped.set(v, !flipped.value(v));
+    EXPECT_NE(fingerprint(flipped), h) << "bit " << v;
+  }
+}
+
+// --- 64-way batch simulation over the matrix -------------------------------
+
+aig::Ref random_cone(aig::Aig& m, int inputs, int gates, util::Rng& rng) {
+  std::vector<aig::Ref> pool;
+  for (int i = 0; i < inputs; ++i) pool.push_back(m.input(i));
+  for (int g = 0; g < gates; ++g) {
+    const aig::Ref a = pool[rng.next_below(pool.size())] ^
+                       static_cast<aig::Ref>(rng.flip());
+    const aig::Ref b = pool[rng.next_below(pool.size())] ^
+                       static_cast<aig::Ref>(rng.flip());
+    pool.push_back(m.and_gate(a, b));
+  }
+  return pool.back() ^ static_cast<aig::Ref>(rng.flip());
+}
+
+TEST(SimulateMatrix, MatchesScalarEvaluation) {
+  util::Rng rng(17);
+  for (int round = 0; round < 10; ++round) {
+    aig::Aig manager;
+    const aig::Ref root = random_cone(manager, 10, 40, rng);
+    SampleMatrix m(10);
+    for (int s = 0; s < 150; ++s) m.append(random_assignment(10, rng));
+    const std::vector<std::uint64_t> sim =
+        aig::simulate_matrix(manager, root, m);
+    ASSERT_EQ(sim.size(), m.num_words());
+    for (std::size_t s = 0; s < m.num_samples(); ++s) {
+      std::unordered_map<std::int32_t, bool> inputs;
+      for (Var v = 0; v < 10; ++v) {
+        inputs[static_cast<std::int32_t>(v)] = m.value(s, v);
+      }
+      EXPECT_EQ(((sim[s >> 6] >> (s & 63)) & 1) != 0,
+                manager.evaluate(root, inputs))
+          << "round " << round << " sample " << s;
+    }
+  }
+}
+
+TEST(SimulateMatrix, ConstantsAndForeignInputsAreFalse) {
+  aig::Aig manager;
+  SampleMatrix m(2);
+  for (int s = 0; s < 5; ++s) m.append(Assignment(2, true));
+  // Constant true cone.
+  const std::vector<std::uint64_t> t =
+      aig::simulate_matrix(manager, aig::kTrueRef, m);
+  EXPECT_EQ(t[0] & m.tail_mask(), m.tail_mask());
+  // Input outside the matrix block evaluates false.
+  const aig::Ref foreign = manager.input(99);
+  const std::vector<std::uint64_t> f =
+      aig::simulate_matrix(manager, foreign, m);
+  EXPECT_EQ(f[0] & m.tail_mask(), 0u);
+}
+
+}  // namespace
+}  // namespace manthan::cnf

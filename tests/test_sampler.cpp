@@ -151,6 +151,135 @@ TEST(Sampler, DeterministicForSeed) {
   }
 }
 
+// --- enumerating session vs the legacy one-solve-per-model oracle ----------
+
+TEST(SamplerEnumerate, ModelsValidAndPairwiseDistinctInBothModes) {
+  CnfFormula f(12);
+  f.add_clause({pos(0), pos(1)});
+  f.add_clause({neg(2), pos(3)});
+  f.add_clause({pos(4), neg(5), pos(0)});
+  for (const bool enumerate : {true, false}) {
+    SamplerOptions options;
+    options.num_samples = 300;
+    options.enumerate = enumerate;
+    Sampler sampler(options);
+    const std::vector<Assignment> samples = sampler.sample(f, {0, 2});
+    ASSERT_GT(samples.size(), 200u) << "enumerate " << enumerate;
+    std::set<std::vector<bool>> distinct;
+    for (const Assignment& a : samples) {
+      EXPECT_TRUE(f.satisfied_by(a));
+      EXPECT_TRUE(distinct.insert(a.bits()).second) << "duplicate model";
+    }
+  }
+}
+
+TEST(SamplerEnumerate, MatchesLegacyDistributionSanity) {
+  // 8 free variables, unbiased polarities: both front ends must cover
+  // both polarities of every variable at a healthy rate; the enumerating
+  // session must not collapse onto a corner of the model space.
+  CnfFormula f(8);
+  f.add_clause({pos(0), neg(0)});
+  for (const bool enumerate : {true, false}) {
+    SamplerOptions options;
+    options.num_samples = 200;
+    options.adaptive = false;
+    options.enumerate = enumerate;
+    Sampler sampler(options);
+    const std::vector<Assignment> samples = sampler.sample(f, {});
+    ASSERT_GT(samples.size(), 100u);
+    for (cnf::Var v = 0; v < 8; ++v) {
+      std::size_t trues = 0;
+      for (const Assignment& a : samples) {
+        if (a.value(v)) ++trues;
+      }
+      const double fraction =
+          static_cast<double>(trues) / static_cast<double>(samples.size());
+      EXPECT_GT(fraction, 0.25) << "enumerate " << enumerate << " var " << v;
+      EXPECT_LT(fraction, 0.75) << "enumerate " << enumerate << " var " << v;
+    }
+  }
+}
+
+TEST(SamplerEnumerate, ExhaustsSmallModelSpacesLikeLegacy) {
+  // Only 4 models exist; both modes must find all of them (and stop).
+  CnfFormula f(3);
+  f.add_clause({neg(2), pos(0), pos(1)});
+  f.add_clause({pos(2), neg(0)});
+  f.add_clause({pos(2), neg(1)});
+  for (const bool enumerate : {true, false}) {
+    SamplerOptions options;
+    options.num_samples = 64;
+    options.enumerate = enumerate;
+    Sampler sampler(options);
+    const std::vector<Assignment> samples = sampler.sample(f, {2});
+    EXPECT_EQ(samples.size(), 4u) << "enumerate " << enumerate;
+  }
+}
+
+TEST(SamplerEnumerate, PackedMatrixAgreesWithRowUnpackedView) {
+  CnfFormula f(9);
+  f.add_clause({pos(0), pos(4)});
+  f.add_clause({neg(1), pos(5)});
+  SamplerOptions options;
+  options.num_samples = 120;
+  Sampler packed_sampler(options);
+  const cnf::SampleMatrix matrix = packed_sampler.sample_packed(f, {0, 1});
+  Sampler row_sampler(options);
+  const std::vector<Assignment> rows = row_sampler.sample(f, {0, 1});
+  ASSERT_EQ(matrix.num_samples(), rows.size());
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    EXPECT_EQ(matrix.row(s), rows[s]) << "sample " << s;
+  }
+}
+
+TEST(SamplerEnumerate, DeterministicForSeed) {
+  CnfFormula f(10);
+  f.add_clause({pos(0), pos(1), pos(2)});
+  SamplerOptions options;
+  options.num_samples = 50;
+  options.seed = 123;
+  Sampler a(options);
+  Sampler b(options);
+  const auto sa = a.sample(f, {0, 1});
+  const auto sb = b.sample(f, {0, 1});
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].bits(), sb[i].bits());
+  }
+}
+
+TEST(SamplerEnumerate, UnsatYieldsEmptyMatrix) {
+  CnfFormula f(2);
+  f.add_clause({pos(0)});
+  f.add_clause({neg(0)});
+  Sampler sampler;
+  EXPECT_TRUE(sampler.sample_packed(f, {}).empty());
+}
+
+TEST(Sampler, ExpiredDeadlineShortCircuitsBeforeMainRound) {
+  // The fix under test: a deadline that expires during the probe round
+  // must return the probe data directly instead of spinning up the
+  // main-round solver (whose draw would immediately abandon).
+  CnfFormula f(10);
+  f.add_clause({pos(0), pos(1)});
+  for (const bool enumerate : {true, false}) {
+    SamplerOptions options;
+    options.num_samples = 100000000;
+    options.probe_samples = 100000000;  // probe absorbs the whole budget
+    options.adaptive = true;
+    options.enumerate = enumerate;
+    Sampler sampler(options);
+    const util::Deadline deadline(0.05);
+    const auto samples = sampler.sample(f, {0}, &deadline);
+    EXPECT_TRUE(deadline.expired());
+    EXPECT_FALSE(samples.empty());
+    EXPECT_FALSE(sampler.stats().main_round)
+        << "main-round solver spun up after deadline expiry (enumerate "
+        << enumerate << ")";
+    EXPECT_EQ(sampler.stats().main_samples, 0u);
+  }
+}
+
 TEST(Sampler, DeadlineReturnsPartialData) {
   CnfFormula f(10);
   f.add_clause({pos(0), pos(1)});

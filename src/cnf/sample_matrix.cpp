@@ -1,6 +1,8 @@
 #include "cnf/sample_matrix.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -49,7 +51,15 @@ void SampleMatrix::reserve(std::size_t samples) {
 }
 
 void SampleMatrix::append(const Assignment& a) {
-  assert(a.size() >= num_vars_);
+  // Callers hand in solver models sized to a possibly different variable
+  // range; an undersized assignment would read out of bounds below, so
+  // the precondition must hold in Release builds too.
+  if (a.size() < num_vars_) {
+    throw std::invalid_argument(
+        "SampleMatrix::append: assignment covers " +
+        std::to_string(a.size()) + " variables, matrix needs " +
+        std::to_string(num_vars_));
+  }
   const std::size_t s = num_samples_++;
   grow_words((s >> 6) + 1);
   const std::size_t word = s >> 6;

@@ -97,6 +97,15 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
         static_cast<std::size_t>(phi_stats.retired_clauses);
     stats.activations_retired =
         static_cast<std::size_t>(phi_stats.retired_activations);
+    const auto add_maintenance = [&stats](const sat::SolverStats& s) {
+      stats.inprocess_runs += static_cast<std::size_t>(s.inprocess_runs);
+      stats.eliminated_vars += static_cast<std::size_t>(s.eliminated_vars);
+      stats.subsumed_clauses += static_cast<std::size_t>(s.subsumed_clauses);
+      stats.vivified_literals +=
+          static_cast<std::size_t>(s.vivified_literals);
+      stats.remapped_vars += static_cast<std::size_t>(s.remapped_vars);
+    };
+    add_maintenance(phi_stats);
     if (verifier.has_value()) {
       const dqbf::IncrementalRefutation::Stats& vstats = verifier->stats();
       stats.cones_encoded = static_cast<std::size_t>(vstats.cones_encoded);
@@ -109,6 +118,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
       stats.verify_vars = static_cast<std::size_t>(vs.vars_allocated);
       stats.verify_clauses_retired =
           static_cast<std::size_t>(vs.retired_clauses);
+      add_maintenance(vs);
     }
     return result;
   };
@@ -341,6 +351,23 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   }
   maxsat::IncrementalMaxSat repair_maxsat(phi_solver);
 
+  // Inter-round solver maintenance (incremental pipeline only): both
+  // persistent solvers inprocess + compact every inprocess_interval
+  // counterexamples. The φ solver's matrix block is its interface —
+  // extension checks assume X units and G_k queries assume H_k/Ŷ units
+  // over it every round — so it stays out of variable elimination.
+  const bool maintain_solvers = options_.incremental && options_.inprocess &&
+                                options_.inprocess_interval > 0;
+  if (maintain_solvers) phi_solver.freeze_range(0, matrix.num_vars());
+  std::size_t next_maintenance =
+      maintain_solvers ? options_.inprocess_interval : 0;
+  const auto maybe_maintain = [&] {
+    if (!maintain_solvers || stats.counterexamples < next_maintenance) return;
+    next_maintenance = stats.counterexamples + options_.inprocess_interval;
+    verifier->maintain();
+    repair_maxsat.maintain();
+  };
+
   // Cross-round sample reuse, refit side: when the matrix has grown
   // enough (or a round repaired nothing), batch-evaluate every live
   // candidate over the packed matrix with the 64-way AIG simulator and
@@ -446,6 +473,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
       return finish(SynthesisStatus::kLimit);
     }
     maybe_refit(/*force=*/false);
+    maybe_maintain();
 
     phase_timer.reset();
     // Vary the search seed per round so a stuck repair sees a different

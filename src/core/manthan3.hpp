@@ -76,6 +76,17 @@ struct Manthan3Options {
   /// no repair progress. Later refits therefore train on
   /// counterexample-corrected data instead of the stale round-0 samples.
   bool sample_reuse = true;
+  /// Inter-round maintenance on the persistent solvers (incremental
+  /// pipeline only): every `inprocess_interval` counterexamples, run SAT
+  /// inprocessing (occurrence-list subsumption + self-subsumption,
+  /// bounded variable elimination, clause vivification) and variable-range
+  /// compaction on the verify solver and the shared φ/MaxSAT solver.
+  /// Retired activation scopes, dead Tseitin cones, and recycled MaxSAT
+  /// round variables are reclaimed, so daemon-length runs stop leaking
+  /// variable ids. Sound by construction: interface variables are frozen
+  /// and the remapper translates models/cores back to stable numbering.
+  bool inprocess = true;
+  std::size_t inprocess_interval = 32;
   std::uint64_t seed = 42;
 };
 
@@ -123,6 +134,18 @@ struct SynthesisStats {
   std::size_t phi_vars = 0;
   /// Clause records reclaimed by retirement in the φ/MaxSAT solver.
   std::size_t phi_clauses_retired = 0;
+  // --- solver maintenance (zero when inprocess = false or the oracle
+  // pipeline runs) ---------------------------------------------------------
+  /// Inprocessing passes across the verify and φ/MaxSAT solvers.
+  std::size_t inprocess_runs = 0;
+  /// Variables removed by bounded variable elimination (both solvers).
+  std::size_t eliminated_vars = 0;
+  /// Clauses removed by occurrence-list subsumption (both solvers).
+  std::size_t subsumed_clauses = 0;
+  /// Literals removed by clause vivification (both solvers).
+  std::size_t vivified_literals = 0;
+  /// Internal variable slots reclaimed by compaction (both solvers).
+  std::size_t remapped_vars = 0;
   // --- cross-round sample reuse (zero when sample_reuse = false) ----------
   /// Counterexample-derived samples appended to the training matrix
   /// (π extensions and MaxSAT-corrected σ, deduped by fingerprint).

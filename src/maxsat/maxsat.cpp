@@ -15,6 +15,14 @@ Var IncrementalMaxSat::fresh_round_var() {
   return v;
 }
 
+void IncrementalMaxSat::maintain() {
+  ++stats_.maintenance_runs;
+  // Root-UNSAT means the hard clauses are contradictory; the next
+  // solve_round() reports kUnsatisfiableHard on its own.
+  if (!solver_.inprocess()) return;
+  solver_.compact();
+}
+
 MaxSatStatus IncrementalMaxSat::solve_round(const std::vector<Lit>& hard,
                                             const std::vector<Lit>& soft,
                                             const util::Deadline* deadline) {

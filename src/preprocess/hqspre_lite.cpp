@@ -1,8 +1,11 @@
 #include "preprocess/hqspre_lite.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
+
+#include "sat/simplify.hpp"
 
 namespace manthan::preprocess {
 
@@ -22,51 +25,116 @@ std::optional<Clause> normalize(Clause clause) {
   return clause;
 }
 
+constexpr std::size_t kNoClause = static_cast<std::size_t>(-1);
+
+/// Occurrence-list clause database shared by all passes of one run().
+///
+/// Clauses are normalized (sorted, duplicate-free) and immutable once
+/// stored; every transformation erases the old record and inserts the
+/// rewritten one. Occurrence lists are lazily stale: erase() leaves the
+/// entries in place and lookups re-check `alive` (and membership, for
+/// rewritten clauses). Each clause carries its 64-bit variable
+/// abstraction (sat/simplify.hpp) so the subsumption passes screen
+/// candidate pairs with one AND+compare instead of a merge scan — this
+/// replaces the previous O(n²) std::set sweep.
+struct ClauseDb {
+  std::vector<Clause> clauses;
+  std::vector<std::uint64_t> abst;
+  std::vector<char> alive;
+  std::vector<std::vector<std::size_t>> occ;  // literal code -> clause ids
+  std::set<Clause> dedup;                     // the live clause *set*
+  std::size_t live = 0;
+
+  explicit ClauseDb(std::size_t num_vars) : occ(2 * num_vars) {}
+
+  /// Store a normalized clause; returns its id, or kNoClause when an
+  /// identical live clause already exists.
+  std::size_t insert(Clause c) {
+    if (!dedup.insert(c).second) return kNoClause;
+    const std::size_t id = clauses.size();
+    abst.push_back(sat::clause_abstraction(c));
+    alive.push_back(1);
+    for (const Lit l : c) {
+      const auto code = static_cast<std::size_t>(l.code());
+      if (code >= occ.size()) occ.resize(code + 1);
+      occ[code].push_back(id);
+    }
+    clauses.push_back(std::move(c));
+    ++live;
+    return id;
+  }
+
+  void erase(std::size_t id) {
+    if (alive[id] == 0) return;
+    alive[id] = 0;
+    --live;
+    dedup.erase(clauses[id]);
+  }
+
+  bool contains(std::size_t id, Lit l) const {
+    const Clause& c = clauses[id];
+    return std::binary_search(c.begin(), c.end(), l);
+  }
+};
+
 }  // namespace
 
 PreprocessResult HqspreLite::run(const dqbf::DqbfFormula& formula) const {
   PreprocessResult result;
   PreprocessStats& stats = result.stats;
 
-  // Working clause set (normalized, deduplicated).
-  std::set<Clause> clauses;
+  ClauseDb db(static_cast<std::size_t>(formula.matrix().num_vars()));
   for (const Clause& c : formula.matrix().clauses()) {
     const std::optional<Clause> n = normalize(c);
     if (!n.has_value()) {
       ++stats.tautologies_removed;
       continue;
     }
-    clauses.insert(*n);
+    db.insert(*n);
   }
 
   // Forced constants for existentials discovered so far.
   std::map<Var, bool> forced;
-  // Existentials dropped by pure-literal elimination (value recorded).
   const auto is_existential = [&](Var v) { return formula.is_existential(v); };
+
+  // Record a forced constant, reporting a conflict with an earlier
+  // (opposite) decision as proven_false instead of overwriting it.
+  const auto force = [&](Var v, bool value) {
+    const auto it = forced.find(v);
+    if (it != forced.end()) {
+      if (it->second != value) result.proven_false = true;
+      return false;  // already recorded
+    }
+    forced.emplace(v, value);
+    return true;
+  };
 
   bool changed = true;
   while (changed && !result.proven_false) {
     changed = false;
     ++stats.rounds;
 
-    // --- universal reduction -------------------------------------------
+    // --- universal reduction (DQBF-aware, stays local) -------------------
+    // A universal literal is deleted when no existential in the clause may
+    // depend on its variable; a clause reduced to nothing falsifies the
+    // formula.
     {
-      std::set<Clause> next;
-      for (const Clause& c : clauses) {
+      const std::size_t end = db.clauses.size();
+      for (std::size_t id = 0; id < end && !result.proven_false; ++id) {
+        if (db.alive[id] == 0) continue;
+        const Clause& c = db.clauses[id];
         Clause reduced;
+        reduced.reserve(c.size());
         for (const Lit l : c) {
           if (!formula.is_universal(l.var())) {
             reduced.push_back(l);
             continue;
           }
-          // Keep the universal literal only if some existential in the
-          // clause may depend on it.
           bool needed = false;
           for (const Lit other : c) {
             if (!is_existential(other.var())) continue;
             const auto& deps =
-                formula.existentials()[formula.existential_index(
-                                           other.var())]
+                formula.existentials()[formula.existential_index(other.var())]
                     .deps;
             if (std::binary_search(deps.begin(), deps.end(), l.var())) {
               needed = true;
@@ -80,116 +148,182 @@ PreprocessResult HqspreLite::run(const dqbf::DqbfFormula& formula) const {
             changed = true;
           }
         }
+        if (reduced.size() == c.size()) continue;
+        db.erase(id);
         if (reduced.empty()) {
-          // Clause with no admissible literal left: the formula is False.
           result.proven_false = true;
           break;
         }
-        next.insert(reduced);
+        db.insert(std::move(reduced));
       }
       if (result.proven_false) break;
-      clauses = std::move(next);
     }
 
-    // --- existential unit propagation -----------------------------------
+    // --- existential unit propagation ------------------------------------
+    // All current units seed a queue that is propagated to fixpoint within
+    // the round (strengthening a clause to a new unit re-enters the queue).
     {
-      std::optional<Lit> unit;
-      for (const Clause& c : clauses) {
-        if (c.size() == 1) {
-          if (formula.is_universal(c[0].var())) {
-            // A universal unit clause is falsified by the opposite value.
-            result.proven_false = true;
-          } else {
-            unit = c[0];
-          }
-          break;
+      std::vector<Lit> queue;
+      for (std::size_t id = 0; id < db.clauses.size(); ++id) {
+        if (db.alive[id] != 0 && db.clauses[id].size() == 1) {
+          queue.push_back(db.clauses[id][0]);
         }
       }
-      if (result.proven_false) break;
-      if (unit.has_value()) {
-        const Var v = unit->var();
-        const bool value = !unit->negated();
-        const auto it = forced.find(v);
-        if (it != forced.end() && it->second != value) {
+      for (std::size_t qi = 0; qi < queue.size() && !result.proven_false;
+           ++qi) {
+        const Lit unit = queue[qi];
+        if (formula.is_universal(unit.var())) {
+          // A universal unit clause is falsified by the opposite value.
           result.proven_false = true;
           break;
         }
-        forced[v] = value;
+        // An earlier unit of the opposite polarity makes the formula
+        // False; the same polarity is already applied.
+        if (!force(unit.var(), !unit.negated())) continue;
         ++stats.units_propagated;
         changed = true;
-        std::set<Clause> next;
-        for (const Clause& c : clauses) {
-          if (std::binary_search(c.begin(), c.end(), *unit)) continue;
+        for (const std::size_t id :
+             db.occ[static_cast<std::size_t>(unit.code())]) {
+          if (db.alive[id] != 0 && db.contains(id, unit)) db.erase(id);
+        }
+        const Lit fal = ~unit;
+        for (const std::size_t id :
+             db.occ[static_cast<std::size_t>(fal.code())]) {
+          if (db.alive[id] == 0 || !db.contains(id, fal)) continue;
           Clause filtered;
-          for (const Lit l : c) {
-            if (l != ~*unit) filtered.push_back(l);
+          filtered.reserve(db.clauses[id].size() - 1);
+          for (const Lit l : db.clauses[id]) {
+            if (l != fal) filtered.push_back(l);
           }
+          db.erase(id);
           if (filtered.empty()) {
             result.proven_false = true;
             break;
           }
-          next.insert(filtered);
+          if (filtered.size() == 1) queue.push_back(filtered[0]);
+          db.insert(std::move(filtered));
         }
-        if (result.proven_false) break;
-        clauses = std::move(next);
       }
+      if (result.proven_false) break;
     }
 
     // --- existential pure literals ---------------------------------------
     {
-      // occurrence polarity per existential: 1 = pos seen, 2 = neg seen.
+      // Occurrence polarity per existential: 1 = pos seen, 2 = neg seen.
       std::map<Var, int> polarity;
-      for (const Clause& c : clauses) {
-        for (const Lit l : c) {
+      for (std::size_t id = 0; id < db.clauses.size(); ++id) {
+        if (db.alive[id] == 0) continue;
+        for (const Lit l : db.clauses[id]) {
           if (!is_existential(l.var())) continue;
           polarity[l.var()] |= l.negated() ? 2 : 1;
         }
       }
-      std::optional<Lit> pure;
       for (const auto& [v, mask] : polarity) {
-        if (mask == 1) {
-          pure = cnf::pos(v);
-          break;
-        }
-        if (mask == 2) {
-          pure = cnf::neg(v);
-          break;
-        }
-      }
-      if (pure.has_value()) {
-        forced[pure->var()] = !pure->negated();
-        ++stats.pure_literals_eliminated;
-        changed = true;
-        std::set<Clause> next;
-        for (const Clause& c : clauses) {
-          if (!std::binary_search(c.begin(), c.end(), *pure)) {
-            next.insert(c);
-          }
-        }
-        clauses = std::move(next);
-      }
-    }
-
-    // --- subsumption ------------------------------------------------------
-    {
-      std::set<Clause> next;
-      for (const Clause& c : clauses) {
-        bool subsumed = false;
-        for (const Clause& d : clauses) {
-          if (d.size() >= c.size() || d == c) continue;
-          if (std::includes(c.begin(), c.end(), d.begin(), d.end())) {
-            subsumed = true;
+        if (result.proven_false) break;
+        if (mask == 3) continue;
+        // Eliminating an earlier pure literal removes clauses, so the
+        // snapshot polarity may be stale; recheck against the live set
+        // before committing.
+        bool has_pos = false;
+        bool has_neg = false;
+        for (const std::size_t id :
+             db.occ[static_cast<std::size_t>(cnf::pos(v).code())]) {
+          if (db.alive[id] != 0 && db.contains(id, cnf::pos(v))) {
+            has_pos = true;
             break;
           }
         }
-        if (subsumed) {
-          ++stats.clauses_subsumed;
-          changed = true;
-        } else {
-          next.insert(c);
+        for (const std::size_t id :
+             db.occ[static_cast<std::size_t>(cnf::neg(v).code())]) {
+          if (db.alive[id] != 0 && db.contains(id, cnf::neg(v))) {
+            has_neg = true;
+            break;
+          }
+        }
+        if (has_pos == has_neg) continue;  // mixed again, or gone entirely
+        const Lit pure = has_pos ? cnf::pos(v) : cnf::neg(v);
+        // A unit may already have forced the opposite value; that is a
+        // conflict (proven_false), not a silent overwrite.
+        if (!force(v, !pure.negated())) continue;
+        ++stats.pure_literals_eliminated;
+        changed = true;
+        for (const std::size_t id :
+             db.occ[static_cast<std::size_t>(pure.code())]) {
+          if (db.alive[id] != 0 && db.contains(id, pure)) db.erase(id);
         }
       }
-      clauses = std::move(next);
+      if (result.proven_false) break;
+    }
+
+    // --- subsumption + self-subsuming resolution -------------------------
+    // Occurrence-list driven via the shared kernels in sat/simplify.hpp:
+    // each clause c removes its supersets (scanning only the occurrence
+    // list of its rarest literal) and strengthens near-supersets d ⊇
+    // (c \ {q}) ∪ {~q} to d \ {~q}. The strengthening is pointwise sound —
+    // any assignment satisfying c and d satisfies the resolvent, which
+    // subsumes d — so no quantifier-prefix restriction is needed.
+    {
+      std::vector<std::size_t> queue;
+      for (std::size_t id = 0; id < db.clauses.size(); ++id) {
+        if (db.alive[id] != 0) queue.push_back(id);
+      }
+      for (std::size_t qi = 0; qi < queue.size() && !result.proven_false;
+           ++qi) {
+        const std::size_t c = queue[qi];
+        if (db.alive[c] == 0) continue;
+        // Inserting strengthened clauses below reallocates the database
+        // vectors; work off copies of c's clause and abstraction.
+        const Clause cc = db.clauses[c];
+        const std::uint64_t ca = db.abst[c];
+        Lit pivot = cnf::kUndefLit;
+        std::size_t pivot_occ = 0;
+        for (const Lit l : cc) {
+          const std::size_t n = db.occ[static_cast<std::size_t>(l.code())].size();
+          if (!pivot.valid() || n < pivot_occ) {
+            pivot = l;
+            pivot_occ = n;
+          }
+        }
+        for (const std::size_t d :
+             db.occ[static_cast<std::size_t>(pivot.code())]) {
+          if (d == c || db.alive[d] == 0) continue;
+          if (db.clauses[d].size() <= cc.size()) continue;  // live set deduped
+          if (!sat::abstraction_subsumes(ca, db.abst[d])) continue;
+          if (sat::subsumes_sorted(cc, db.clauses[d])) {
+            db.erase(d);
+            ++stats.clauses_subsumed;
+            changed = true;
+          }
+        }
+        for (const Lit q : cc) {
+          if (db.alive[c] == 0 || result.proven_false) break;
+          const auto nq_code = static_cast<std::size_t>((~q).code());
+          // Index loop: a strengthened clause may still contain ~q, so
+          // its insertion can grow (and reallocate) this occurrence list.
+          for (std::size_t oi = 0; oi < db.occ[nq_code].size(); ++oi) {
+            const std::size_t d = db.occ[nq_code][oi];
+            if (db.alive[d] == 0 || db.clauses[d].size() < cc.size()) continue;
+            if (!sat::abstraction_subsumes(ca, db.abst[d])) continue;
+            const Lit rem = sat::self_subsumes_sorted(cc, db.clauses[d]);
+            if (!rem.valid()) continue;
+            Clause strengthened;
+            strengthened.reserve(db.clauses[d].size() - 1);
+            for (const Lit l : db.clauses[d]) {
+              if (l != rem) strengthened.push_back(l);
+            }
+            db.erase(d);
+            ++stats.literals_strengthened;
+            changed = true;
+            if (strengthened.empty()) {
+              result.proven_false = true;  // q and ~q both derived
+              break;
+            }
+            const std::size_t nid = db.insert(std::move(strengthened));
+            if (nid != kNoClause) queue.push_back(nid);
+          }
+        }
+      }
+      if (result.proven_false) break;
     }
   }
 
@@ -211,7 +345,7 @@ PreprocessResult HqspreLite::run(const dqbf::DqbfFormula& formula) const {
     }
   }
   out.matrix().ensure_vars(formula.matrix().num_vars());
-  for (const Clause& c : clauses) out.matrix().add_clause(c);
+  for (const Clause& c : db.dedup) out.matrix().add_clause(c);
   result.simplified = std::move(out);
   return result;
 }

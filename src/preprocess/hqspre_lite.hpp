@@ -13,7 +13,13 @@
 //     to a constant and simplifies the matrix,
 //   * existential pure-literal elimination: an existential occurring with
 //     one polarity only is fixed to the satisfying constant,
-//   * subsumption elimination.
+//   * subsumption elimination and self-subsuming resolution (pointwise
+//     sound, so no quantifier-prefix restriction applies).
+//
+// The clause passes run over an occurrence-list database with 64-bit
+// clause abstractions, sharing the screening/subset kernels in
+// sat/simplify.hpp with the SAT solver's inprocessing engine; only the
+// DQBF-aware universal reduction stays local.
 //
 // Eliminated existentials are recorded on a reconstruction stack so a
 // Henkin vector of the simplified formula extends to one of the original
@@ -35,6 +41,7 @@ struct PreprocessStats {
   std::size_t units_propagated = 0;
   std::size_t pure_literals_eliminated = 0;
   std::size_t clauses_subsumed = 0;
+  std::size_t literals_strengthened = 0;
   std::size_t rounds = 0;
 };
 

@@ -1,0 +1,155 @@
+// Variable remapping between a solver's stable external numbering and its
+// compacted internal numbering.
+//
+// Long-lived incremental sessions (the persistent verify solver, the
+// shared φ/MaxSAT solver, the synthesis daemon) allocate variables
+// forever: activation guards, MaxSAT selectors, and Tseitin cone
+// variables become dead after retirement, but every per-variable array
+// (assignments, watches, activity, phases) and every model extraction
+// keeps paying for the whole historical range.
+//
+// The Remapper decouples the two numberings. Clients keep talking to the
+// solver in *external* ids — the ids new_var() handed out, stable for the
+// lifetime of the solver — while Solver::compact() renumbers the live
+// variables densely and records what happened to everything it dropped:
+//
+//   * kFixed:       the variable was assigned at the root (e.g. a retired
+//                   activation literal); its value is recorded and
+//                   substituted into later clauses and models,
+//   * kFree:        the variable occurred in no live clause; if a later
+//                   clause or assumption mentions it again it is revived
+//                   as a fresh internal variable (this is what makes
+//                   IncrementalMaxSat's recycled round variables safe),
+//   * kEliminated:  removed by bounded variable elimination during
+//                   inprocessing; the solver keeps the defining clauses
+//                   and re-adds them on revival, and model extraction
+//                   recomputes the variable's value from them.
+//
+// Translation is identity (and branch-free) until the first elimination
+// or compaction actually diverges the numberings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/lit.hpp"
+
+namespace manthan::sat {
+
+class Solver;
+
+class Remapper {
+ public:
+  /// What became of an external variable that has no internal slot.
+  enum class DropKind : std::uint8_t { kLive, kFixed, kFree, kEliminated };
+
+  /// External variables handed out by Solver::new_var() so far.
+  cnf::Var num_external() const { return num_external_; }
+
+  /// True while external and internal numbering coincide (no compaction
+  /// or elimination has diverged them yet).
+  bool identity() const { return identity_; }
+
+  /// Internal variable backing external `v`, or cnf::kNoVar if dropped.
+  cnf::Var to_internal(cnf::Var v) const {
+    if (identity_) return v;
+    return ext2int_[static_cast<std::size_t>(v)];
+  }
+  /// Internal literal backing external `l`; cnf::kUndefLit if dropped.
+  cnf::Lit to_internal(cnf::Lit l) const {
+    if (identity_) return l;
+    const cnf::Var iv = ext2int_[static_cast<std::size_t>(l.var())];
+    if (iv == cnf::kNoVar) return cnf::kUndefLit;
+    return cnf::Lit(iv, l.negated());
+  }
+  /// External variable behind internal `v`; cnf::kNoVar for orphaned
+  /// internal slots awaiting compaction.
+  cnf::Var to_external(cnf::Var v) const {
+    if (identity_) return v;
+    return int2ext_[static_cast<std::size_t>(v)];
+  }
+  cnf::Lit to_external(cnf::Lit l) const {
+    if (identity_) return l;
+    return cnf::Lit(int2ext_[static_cast<std::size_t>(l.var())], l.negated());
+  }
+
+  DropKind drop_kind(cnf::Var external) const {
+    if (identity_ || ext2int_[static_cast<std::size_t>(external)] != cnf::kNoVar)
+      return DropKind::kLive;
+    return dropped_[static_cast<std::size_t>(external)];
+  }
+  bool is_live(cnf::Var external) const {
+    return drop_kind(external) == DropKind::kLive;
+  }
+  bool is_eliminated(cnf::Var external) const {
+    return drop_kind(external) == DropKind::kEliminated;
+  }
+  /// Root value of a kFixed drop; kUndef for every other kind.
+  cnf::LBool fixed_value(cnf::Var external) const {
+    if (drop_kind(external) != DropKind::kFixed) return cnf::LBool::kUndef;
+    return fixed_value_[static_cast<std::size_t>(external)];
+  }
+
+  /// Internal variable slots reclaimed by compactions so far (cumulative).
+  std::uint64_t remapped_vars() const { return remapped_vars_; }
+
+ private:
+  friend class Solver;
+
+  /// Leave identity mode: materialize the maps for `internal` current
+  /// variables (external count already tracked).
+  void materialize(cnf::Var internal) {
+    if (!identity_) return;
+    identity_ = false;
+    ext2int_.resize(static_cast<std::size_t>(num_external_), cnf::kNoVar);
+    for (cnf::Var v = 0; v < num_external_; ++v) {
+      ext2int_[static_cast<std::size_t>(v)] = v < internal ? v : cnf::kNoVar;
+    }
+    int2ext_.resize(static_cast<std::size_t>(internal));
+    for (cnf::Var v = 0; v < internal; ++v) {
+      int2ext_[static_cast<std::size_t>(v)] = v;
+    }
+    dropped_.resize(static_cast<std::size_t>(num_external_), DropKind::kLive);
+    fixed_value_.resize(static_cast<std::size_t>(num_external_),
+                        cnf::LBool::kUndef);
+  }
+
+  void push_var(cnf::Var internal) {
+    ++num_external_;
+    if (identity_) return;
+    ext2int_.push_back(internal);
+    dropped_.push_back(DropKind::kLive);
+    fixed_value_.push_back(cnf::LBool::kUndef);
+    bind(num_external_ - 1, internal);
+  }
+
+  /// (Re)bind external `ev` to internal `iv` (revival or fresh alloc).
+  void bind(cnf::Var ev, cnf::Var iv) {
+    ext2int_[static_cast<std::size_t>(ev)] = iv;
+    dropped_[static_cast<std::size_t>(ev)] = DropKind::kLive;
+    if (static_cast<std::size_t>(iv) >= int2ext_.size()) {
+      int2ext_.resize(static_cast<std::size_t>(iv) + 1, cnf::kNoVar);
+    }
+    int2ext_[static_cast<std::size_t>(iv)] = ev;
+  }
+
+  void drop(cnf::Var ev, DropKind kind,
+            cnf::LBool value = cnf::LBool::kUndef) {
+    const auto e = static_cast<std::size_t>(ev);
+    const cnf::Var iv = ext2int_[e];
+    if (iv != cnf::kNoVar) int2ext_[static_cast<std::size_t>(iv)] = cnf::kNoVar;
+    ext2int_[e] = cnf::kNoVar;
+    dropped_[e] = kind;
+    fixed_value_[e] = value;
+  }
+
+  bool identity_ = true;
+  cnf::Var num_external_ = 0;
+  std::vector<cnf::Var> ext2int_;
+  std::vector<cnf::Var> int2ext_;
+  std::vector<DropKind> dropped_;
+  std::vector<cnf::LBool> fixed_value_;
+  std::uint64_t remapped_vars_ = 0;
+};
+
+}  // namespace manthan::sat

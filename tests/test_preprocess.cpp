@@ -92,6 +92,58 @@ TEST(HqspreLite, ConflictingUnitsAreFalse) {
   EXPECT_TRUE(HqspreLite().run(f).proven_false);
 }
 
+TEST(HqspreLite, UnitChainConflictIsFalse) {
+  // (y0), (¬y0 ∨ y1), (¬y0 ∨ ¬y1): propagating y0 leaves the
+  // conflicting units (y1) and (¬y1) inside the SAME round — the queue
+  // must catch the clash instead of recording both forced values.
+  dqbf::DqbfFormula f;
+  f.add_existential(0, {});
+  f.add_existential(1, {});
+  f.matrix().add_clause({pos(0)});
+  f.matrix().add_clause({neg(0), pos(1)});
+  f.matrix().add_clause({neg(0), neg(1)});
+  EXPECT_TRUE(HqspreLite().run(f).proven_false);
+}
+
+TEST(HqspreLite, ChainedUnitsPropagateToFixpointInOneRound) {
+  // Implication chain y0 → y1 → y2 → y3 seeded by the unit (y0). The
+  // in-round propagation queue must drain the whole chain without
+  // spending one outer round per unit (the pre-fix behavior).
+  dqbf::DqbfFormula f;
+  for (Var v = 0; v < 4; ++v) f.add_existential(v, {});
+  f.matrix().add_clause({pos(0)});
+  f.matrix().add_clause({neg(0), pos(1)});
+  f.matrix().add_clause({neg(1), pos(2)});
+  f.matrix().add_clause({neg(2), pos(3)});
+  const PreprocessResult r = HqspreLite().run(f);
+  ASSERT_FALSE(r.proven_false);
+  EXPECT_EQ(r.stats.units_propagated, 4u);
+  // One working round plus the fixpoint-confirming round.
+  EXPECT_LE(r.stats.rounds, 2u);
+  ASSERT_EQ(r.eliminated.size(), 4u);
+  for (const auto& [v, value] : r.eliminated) EXPECT_TRUE(value) << v;
+  EXPECT_EQ(r.simplified.matrix().num_clauses(), 0u);
+}
+
+TEST(HqspreLite, SelfSubsumingResolutionStrengthens) {
+  // (y2 ∨ y3) self-subsumes (¬y2 ∨ y3 ∨ y4) on pivot y2, strengthening
+  // it to (y3 ∨ y4). Both polarities of y3/y4 occur so pure-literal
+  // elimination cannot erase the evidence first.
+  dqbf::DqbfFormula f;
+  f.add_universal(0);
+  f.add_universal(1);
+  for (Var v = 2; v <= 4; ++v) f.add_existential(v, {0, 1});
+  f.matrix().add_clause({pos(2), pos(3)});
+  f.matrix().add_clause({neg(2), pos(3), pos(4)});
+  f.matrix().add_clause({neg(3), neg(4)});
+  const PreprocessResult r = HqspreLite().run(f);
+  ASSERT_FALSE(r.proven_false);
+  EXPECT_GE(r.stats.literals_strengthened, 1u);
+  for (std::size_t c = 0; c < r.simplified.matrix().num_clauses(); ++c) {
+    EXPECT_LE(r.simplified.matrix().clause(c).size(), 2u);
+  }
+}
+
 TEST(HqspreLite, PureLiteralElimination) {
   dqbf::DqbfFormula f;
   f.add_universal(0);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "aig/aig.hpp"
@@ -71,6 +72,15 @@ TEST(SampleMatrix, TailMaskFullWhenAligned) {
   for (int s = 0; s < 64; ++s) m.append(Assignment(2, true));
   EXPECT_EQ(m.num_words(), 1u);
   EXPECT_EQ(m.tail_mask(), ~0ULL);
+}
+
+TEST(SampleMatrix, AppendRejectsUndersizedAssignments) {
+  // An assignment narrower than the matrix block would silently read
+  // out of range; append must reject it instead of asserting.
+  SampleMatrix m(5);
+  EXPECT_THROW(m.append(Assignment(4, true)), std::invalid_argument);
+  m.append(Assignment(5, true));
+  EXPECT_EQ(m.num_samples(), 1u);
 }
 
 TEST(SampleMatrix, AppendIgnoresVariablesAboveTheMatrixBlock) {

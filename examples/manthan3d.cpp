@@ -1,0 +1,176 @@
+// manthan3d — the synthesis service as a long-running daemon.
+//
+// Watches a queue directory for `*.dqdimacs` request files, routes each
+// through one engine::Service (shared scheduler pool, admission policy,
+// two-tier result cache), and writes `<name>.result.json` next to every
+// answered request: status, engine, cache/race provenance, the canonical
+// spec fingerprint, engine counters, and the certified functions as an
+// embedded BLIF netlist. Duplicate requests — byte-identical or merely
+// isomorphic (renamed variables, shuffled clauses) — are answered from
+// the result cache without touching a worker.
+//
+// SIGINT/SIGTERM flip a cancel token: the current request stops at its
+// next engine poll (no result file is written, so the next daemon start
+// re-runs it), queued requests stay untouched, and the process exits
+// after the service drains. Requests already answered keep their result
+// files, so restarts are idempotent.
+//
+// Usage:
+//   manthan3d --queue DIR [options]
+//     --queue <dir>       queue directory (required)
+//     --workers <n>       scheduler workers (default: hardware)
+//     --timeout <s>       per-request budget in seconds (default 60)
+//     --seed <n>          service seed (default 42)
+//     --once              drain the queue once and exit
+//     --poll-ms <n>       sleep between drains (default 200)
+//     --max-requests <n>  stop after n requests (0 = unlimited)
+//     --no-cache          disable the tier-1 result cache
+//     --stats-json <f>    write service counters to f on exit
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "engine/daemon.hpp"
+#include "engine/service.hpp"
+#include "util/cancel.hpp"
+
+namespace {
+
+// Signal handler target: cancel() is a relaxed atomic store, safe in a
+// handler context.
+manthan::util::CancelToken g_stop;
+
+extern "C" void handle_signal(int) { g_stop.cancel(); }
+
+struct CliOptions {
+  std::string queue_dir;
+  std::size_t workers = 0;
+  double timeout = 60.0;
+  std::uint64_t seed = 42;
+  bool once = false;
+  int poll_ms = 200;
+  std::size_t max_requests = 0;
+  bool use_cache = true;
+  std::string stats_json;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --queue DIR [--workers N] [--timeout S] [--seed N]"
+               " [--once] [--poll-ms N] [--max-requests N] [--no-cache]"
+               " [--stats-json F]\n";
+  return 2;
+}
+
+void write_stats(const std::string& path,
+                 const manthan::engine::ServiceStats& stats) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  out << "  \"requests\": " << stats.requests << ",\n";
+  out << "  \"completed\": " << stats.completed << ",\n";
+  out << "  \"tier1_hits\": " << stats.tier1_hits << ",\n";
+  out << "  \"tier1_misses\": " << stats.tier1_misses << ",\n";
+  out << "  \"coalesced\": " << stats.coalesced << ",\n";
+  out << "  \"races\": " << stats.races << ",\n";
+  out << "  \"single_runs\": " << stats.single_runs << ",\n";
+  out << "  \"cancelled\": " << stats.cancelled << ",\n";
+  out << "  \"cache_entries\": " << stats.cache_entries << ",\n";
+  out << "  \"cache_evictions\": " << stats.cache_evictions << ",\n";
+  out << "  \"analysis_unique_hits\": " << stats.analysis.unique_hits << ",\n";
+  out << "  \"analysis_dependency_hits\": " << stats.analysis.dependency_hits
+      << "\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--queue") {
+      cli.queue_dir = next("--queue");
+    } else if (arg == "--workers") {
+      cli.workers = std::stoul(next("--workers"));
+    } else if (arg == "--timeout") {
+      cli.timeout = std::stod(next("--timeout"));
+    } else if (arg == "--seed") {
+      cli.seed = std::stoull(next("--seed"));
+    } else if (arg == "--once") {
+      cli.once = true;
+    } else if (arg == "--poll-ms") {
+      cli.poll_ms = std::stoi(next("--poll-ms"));
+    } else if (arg == "--max-requests") {
+      cli.max_requests = std::stoul(next("--max-requests"));
+    } else if (arg == "--no-cache") {
+      cli.use_cache = false;
+    } else if (arg == "--stats-json") {
+      cli.stats_json = next("--stats-json");
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cli.queue_dir.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  manthan::engine::ServiceOptions service_options;
+  service_options.workers = cli.workers;
+  service_options.default_time_limit_seconds = cli.timeout;
+  service_options.seed = cli.seed;
+  service_options.result_cache = cli.use_cache;
+  manthan::engine::Service service(service_options);
+
+  manthan::engine::DaemonOptions daemon_options;
+  daemon_options.queue_dir = cli.queue_dir;
+  daemon_options.max_requests = cli.max_requests;
+  daemon_options.stop = &g_stop;
+  daemon_options.use_cache = cli.use_cache;
+
+  std::cout << "manthan3d: serving " << cli.queue_dir << " with "
+            << service.worker_count() << " workers\n";
+
+  std::size_t total_processed = 0;
+  while (!g_stop.cancelled()) {
+    const manthan::engine::DrainReport report =
+        drain_queue(service, daemon_options);
+    total_processed += report.processed;
+    for (const auto& record : report.records) {
+      std::cout << record.path << ": "
+                << (record.malformed
+                        ? "malformed"
+                        : record.cancelled
+                              ? "cancelled"
+                              : manthan::engine::status_name(record.status))
+                << (record.cache_hit ? " (cached)" : "") << " in "
+                << record.seconds << "s\n";
+    }
+    if (cli.once || g_stop.cancelled()) break;
+    if (cli.max_requests != 0 && total_processed >= cli.max_requests) break;
+    // Sleep in short slices so a signal ends the poll wait promptly.
+    for (int waited = 0; waited < cli.poll_ms && !g_stop.cancelled();
+         waited += 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  service.shutdown();
+  const manthan::engine::ServiceStats stats = service.stats();
+  if (!cli.stats_json.empty()) write_stats(cli.stats_json, stats);
+  std::cout << "manthan3d: " << stats.requests << " requests, "
+            << stats.tier1_hits << " cache hits, " << stats.races
+            << " races; shutting down\n";
+  return 0;
+}

@@ -241,4 +241,25 @@ bool Aig::evaluate(Ref root, const cnf::Assignment& a) const {
   return value[ref_node(root)] != ref_complemented(root);
 }
 
+Ref import_cone(const Aig& src, Aig& dst, Ref root,
+                std::unordered_map<std::uint32_t, Ref>& node_map) {
+  const auto translate = [&node_map](Ref r) {
+    return node_map.at(ref_node(r)) ^ (ref_complemented(r) ? 1u : 0u);
+  };
+  for (const std::uint32_t idx : cone_topo_order(src, root)) {
+    if (node_map.find(idx) != node_map.end()) continue;
+    const Aig::Node& node = src.node(idx);
+    Ref mapped;
+    if (idx == ref_node(kFalseRef)) {
+      mapped = kFalseRef;
+    } else if (node.input_id >= 0) {
+      mapped = dst.input(node.input_id);
+    } else {
+      mapped = dst.and_gate(translate(node.fanin0), translate(node.fanin1));
+    }
+    node_map.emplace(idx, mapped);
+  }
+  return translate(root);
+}
+
 }  // namespace manthan::aig

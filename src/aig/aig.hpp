@@ -120,4 +120,14 @@ class Aig {
 /// (fanins before fanouts); includes input and constant nodes.
 std::vector<std::uint32_t> cone_topo_order(const Aig& aig, Ref root);
 
+/// Rebuild the cone of `root` (a ref in `src`) inside `dst`, reusing the
+/// destination's structural hashing. `node_map` maps src node index ->
+/// dst ref of the plain node; share it across roots so common logic is
+/// imported once. Used wherever functions cross manager boundaries: the
+/// racing portfolio hands the winner's vector to the caller, and the
+/// service's result cache replays certified cones into each requester's
+/// manager.
+Ref import_cone(const Aig& src, Aig& dst, Ref root,
+                std::unordered_map<std::uint32_t, Ref>& node_map);
+
 }  // namespace manthan::aig

@@ -1,0 +1,108 @@
+#include "cnf/canonical.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace manthan::cnf {
+
+namespace {
+
+// Domain-separation salts for the mixers: literal polarity inside clause
+// signatures, polarity of the clause->variable feedback, and the
+// per-round extra salt. Arbitrary odd constants.
+constexpr std::uint64_t kPosLit = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kNegLit = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kPosOcc = 0x165667b19e3779f9ULL;
+constexpr std::uint64_t kNegOcc = 0x27d4eb2f165667c5ULL;
+constexpr std::uint64_t kExtra = 0x85ebca77c2b2ae63ULL;
+
+}  // namespace
+
+void refine_colors(const CnfFormula& formula,
+                   std::vector<std::uint64_t>& colors,
+                   const std::vector<std::uint64_t>& extra) {
+  // Clause signatures: commutative accumulation over literal colors, so a
+  // literal permutation inside the clause cannot matter. Length is mixed
+  // in to separate e.g. (a a b) from (a b) style coincidences — the
+  // formula cannot contain duplicate literals, but subset clauses with
+  // equal accumulated sums should not collide silently.
+  const std::vector<Clause>& clauses = formula.clauses();
+  std::vector<std::uint64_t> clause_sig(clauses.size());
+  for (std::size_t c = 0; c < clauses.size(); ++c) {
+    std::uint64_t acc = 0;
+    for (const Lit l : clauses[c]) {
+      const std::uint64_t color = colors[static_cast<std::size_t>(l.var())];
+      acc += util::splitmix64(color ^ (l.negated() ? kNegLit : kPosLit));
+    }
+    clause_sig[c] = util::splitmix64(acc ^ clauses[c].size());
+  }
+
+  // Variable update: previous color + commutative multiset of occurrence
+  // signatures + the caller's extra salt (dependency edges at the DQBF
+  // layer).
+  std::vector<std::uint64_t> acc(colors.size(), 0);
+  for (std::size_t c = 0; c < clauses.size(); ++c) {
+    for (const Lit l : clauses[c]) {
+      acc[static_cast<std::size_t>(l.var())] += util::splitmix64(
+          clause_sig[c] ^ (l.negated() ? kNegOcc : kPosOcc));
+    }
+  }
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    std::uint64_t h = colors[v] ^ util::splitmix64(acc[v]);
+    if (!extra.empty()) h ^= util::splitmix64(extra[v] ^ kExtra);
+    colors[v] = util::splitmix64(h);
+  }
+}
+
+std::size_t count_colors(const std::vector<std::uint64_t>& colors) {
+  std::unordered_set<std::uint64_t> distinct(colors.begin(), colors.end());
+  return distinct.size();
+}
+
+std::uint64_t clause_set_hash(const CnfFormula& formula,
+                              const std::vector<std::uint64_t>& labels,
+                              std::uint64_t seed) {
+  // Clause hash: sorted literal labels chained through splitmix64 (the
+  // sort restores a canonical literal order); clause hashes combine by
+  // commutative sum+xor so clause order is immaterial.
+  std::uint64_t sum = 0;
+  std::uint64_t sym = 0;
+  std::vector<std::uint64_t> lit_labels;
+  for (const Clause& clause : formula.clauses()) {
+    lit_labels.clear();
+    for (const Lit l : clause) {
+      lit_labels.push_back(util::splitmix64(
+          labels[static_cast<std::size_t>(l.var())] ^
+          (l.negated() ? kNegLit : kPosLit)));
+    }
+    std::sort(lit_labels.begin(), lit_labels.end());
+    std::uint64_t h = seed ^ clause.size();
+    for (const std::uint64_t label : lit_labels) {
+      h = util::splitmix64(h ^ label);
+    }
+    sum += h;
+    sym ^= util::splitmix64(h);
+  }
+  return util::splitmix64(seed ^ sum) ^ sym;
+}
+
+OccurrenceCounts count_occurrences(const CnfFormula& formula) {
+  OccurrenceCounts counts;
+  const std::size_t n = static_cast<std::size_t>(formula.num_vars());
+  counts.positive.assign(n, 0);
+  counts.negative.assign(n, 0);
+  for (const Clause& clause : formula.clauses()) {
+    for (const Lit l : clause) {
+      if (l.negated()) {
+        ++counts.negative[static_cast<std::size_t>(l.var())];
+      } else {
+        ++counts.positive[static_cast<std::size_t>(l.var())];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace manthan::cnf

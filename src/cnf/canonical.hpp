@@ -1,0 +1,68 @@
+// Canonical (permutation- and renaming-invariant) hashing of clause sets.
+//
+// cnf::fingerprint (sample_matrix.hpp) identifies *assignments*; this
+// module generalizes the idea to whole formulas, the keying primitive of
+// the synthesis service's cross-instance result cache. Two ingredients:
+//
+//   * Color refinement (1-dimensional Weisfeiler-Leman) over the
+//     variable/clause incidence graph: every variable starts from a
+//     caller-chosen color (its quantifier role, occurrence counts, ...)
+//     and is iteratively re-colored by the multiset of signatures of the
+//     clauses it occurs in, with polarity. After a few rounds, variables
+//     that play structurally different roles in the formula carry
+//     different colors, while a renamed copy of the formula reproduces
+//     the colors exactly.
+//
+//   * A commutative clause-set hash under a variable labeling: each
+//     clause hashes the *sorted* multiset of its literal labels, and the
+//     clause hashes combine by commutative accumulation — so neither
+//     clause order, literal order, nor (via the labels) variable names
+//     affect the result.
+//
+// Refinement is not a complete isomorphism test: structurally symmetric
+// (automorphic) variables keep equal colors forever, which is harmless —
+// any consistent labeling of an orbit hashes identically — and distinct
+// but WL-equivalent formulas may collide, which the 128-bit fingerprint
+// consumers treat like any hash collision (vanishingly rare on real
+// instances; the cache layers tolerate it by construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+
+namespace manthan::cnf {
+
+/// One round of color refinement: recolor every variable by its previous
+/// color plus the multiset of (clause signature, polarity) pairs of its
+/// occurrences. `colors` must have one entry per variable of `formula`
+/// (callers seed it with role/occurrence information). `extra` may add a
+/// per-variable salt mixed in each round (the DQBF layer feeds dependency
+/// -edge accumulators through it); pass an empty vector for none.
+void refine_colors(const CnfFormula& formula,
+                   std::vector<std::uint64_t>& colors,
+                   const std::vector<std::uint64_t>& extra = {});
+
+/// Number of distinct values in `colors` (partition size — refinement has
+/// stabilized once two consecutive rounds report the same count).
+std::size_t count_colors(const std::vector<std::uint64_t>& colors);
+
+/// Commutative hash of the clause set under the labeling `labels`
+/// (one label per variable): invariant under clause reordering, literal
+/// reordering within clauses, and any renaming that preserves labels.
+/// `seed` decorrelates independent hash planes (the fingerprint's hi and
+/// lo halves use different seeds over the same labeling).
+std::uint64_t clause_set_hash(const CnfFormula& formula,
+                              const std::vector<std::uint64_t>& labels,
+                              std::uint64_t seed);
+
+/// Per-variable positive/negative occurrence counts — the standard
+/// renaming-invariant ingredient of initial colors.
+struct OccurrenceCounts {
+  std::vector<std::uint32_t> positive;
+  std::vector<std::uint32_t> negative;
+};
+OccurrenceCounts count_occurrences(const CnfFormula& formula);
+
+}  // namespace manthan::cnf

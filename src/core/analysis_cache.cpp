@@ -1,0 +1,69 @@
+#include "core/analysis_cache.hpp"
+
+#include <algorithm>
+
+namespace manthan::core {
+
+DependencyRelations DependencyRelations::compute(
+    const dqbf::DqbfFormula& formula) {
+  DependencyRelations rel;
+  rel.m = formula.num_existentials();
+  rel.subset.assign(rel.m * rel.m, false);
+  rel.equal.assign(rel.m * rel.m, false);
+  for (std::size_t j = 0; j < rel.m; ++j) {
+    for (std::size_t i = 0; i < rel.m; ++i) {
+      if (i == j) continue;
+      if (formula.deps_subset(j, i)) {
+        rel.subset[j * rel.m + i] = true;
+        if (formula.deps_equal(j, i)) rel.equal[j * rel.m + i] = true;
+      }
+    }
+  }
+  return rel;
+}
+
+std::optional<bool> AnalysisCache::lookup_unique(
+    const dqbf::Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = unique_.find(key);
+  if (it == unique_.end()) {
+    ++stats_.unique_misses;
+    return std::nullopt;
+  }
+  ++stats_.unique_hits;
+  return it->second;
+}
+
+void AnalysisCache::store_unique(const dqbf::Fingerprint& key, bool defined) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  unique_.emplace(key, defined);
+}
+
+std::shared_ptr<const DependencyRelations> AnalysisCache::lookup_dependencies(
+    const dqbf::Fingerprint& spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = dependencies_.find(spec);
+  if (it == dependencies_.end()) {
+    ++stats_.dependency_misses;
+    return nullptr;
+  }
+  ++stats_.dependency_hits;
+  return it->second;
+}
+
+void AnalysisCache::store_dependencies(
+    const dqbf::Fingerprint& spec,
+    std::shared_ptr<const DependencyRelations> rel) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dependencies_.emplace(spec, std::move(rel));
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.unique_entries = unique_.size();
+  s.dependency_entries = dependencies_.size();
+  return s;
+}
+
+}  // namespace manthan::core

@@ -1,0 +1,107 @@
+// Tier-2 cache of sub-instance analyses, shared across synthesis runs.
+//
+// The service's tier-1 cache answers whole requests (certified result by
+// spec fingerprint); this tier salvages the expensive *pieces* of a run
+// when the whole doesn't match — near-duplicate specs (same matrix,
+// some dependency sets changed; renamed variables; an extra existential)
+// redo identical per-existential work today:
+//
+//   * Unique-definability (Padoa) verdicts. is_defined(y_i) is a SAT
+//     query over the doubled matrix that depends only on
+//     (matrix, y_i, H_i). Keyed by the canonical sub-instance fingerprint
+//     (dqbf::CanonicalForm::existential_keys), a verdict computed for one
+//     spec answers the same question for every spec sharing that triple —
+//     including specs whose OTHER existentials differ arbitrarily.
+//
+//   * Dependency relations. The ⊆/= relation over the Henkin sets (the
+//     pre-committed ordering edges and feature admissibility of
+//     Algorithm 2) is an O(m²·|H|) sweep recomputed per run; keyed by the
+//     spec fingerprint it is shared by duplicate requests racing through
+//     different engines or re-entering after eviction from tier 1.
+//
+// Thread-safety: one mutex over both maps. Lookups happen a handful of
+// times per *request* (not per counterexample), so contention is nil even
+// with every service worker hitting the cache; entries are immutable once
+// stored (shared_ptr for the relations), so readers hold no locks while
+// using them.
+//
+// A cached verdict is advisory, never load-bearing for soundness: a
+// colliding key could at worst seed the engine with a wrong "defined"
+// hint, whose extracted definition then fails verification and is
+// repaired like any bad candidate — final vectors are still certified
+// independently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dqbf/dqbf.hpp"
+#include "dqbf/fingerprint.hpp"
+
+namespace manthan::core {
+
+/// The ⊆ / = relation over Henkin dependency sets, precomputed once per
+/// spec: the static inputs of ordering-edge commitment and feature-set
+/// assembly. Immutable after compute().
+struct DependencyRelations {
+  std::size_t m = 0;
+  /// subset[j * m + i]  iff  H_j ⊆ H_i.
+  std::vector<bool> subset;
+  /// equal[j * m + i]   iff  H_j == H_i.
+  std::vector<bool> equal;
+
+  bool is_subset(std::size_t j, std::size_t i) const {
+    return subset[j * m + i];
+  }
+  bool is_equal(std::size_t j, std::size_t i) const {
+    return equal[j * m + i];
+  }
+
+  static DependencyRelations compute(const dqbf::DqbfFormula& formula);
+};
+
+class AnalysisCache {
+ public:
+  AnalysisCache() = default;
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  struct Stats {
+    std::size_t unique_hits = 0;
+    std::size_t unique_misses = 0;
+    std::size_t dependency_hits = 0;
+    std::size_t dependency_misses = 0;
+    std::size_t unique_entries = 0;
+    std::size_t dependency_entries = 0;
+  };
+
+  /// Cached Padoa verdict for a (matrix, y, H) sub-instance key; nullopt
+  /// on miss. Only definite verdicts are ever stored (kUnknown — deadline
+  /// expiry — must not poison future runs).
+  std::optional<bool> lookup_unique(const dqbf::Fingerprint& key);
+  void store_unique(const dqbf::Fingerprint& key, bool defined);
+
+  /// Cached dependency relations for a spec fingerprint; null on miss.
+  std::shared_ptr<const DependencyRelations> lookup_dependencies(
+      const dqbf::Fingerprint& spec);
+  void store_dependencies(const dqbf::Fingerprint& spec,
+                          std::shared_ptr<const DependencyRelations> rel);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<dqbf::Fingerprint, bool, dqbf::FingerprintHasher>
+      unique_;
+  std::unordered_map<dqbf::Fingerprint,
+                     std::shared_ptr<const DependencyRelations>,
+                     dqbf::FingerprintHasher>
+      dependencies_;
+  Stats stats_;
+};
+
+}  // namespace manthan::core

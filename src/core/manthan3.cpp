@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +13,7 @@
 #include "cnf/sample_matrix.hpp"
 #include "core/dependency.hpp"
 #include "dqbf/certificate.hpp"
+#include "dqbf/fingerprint.hpp"
 #include "dqbf/incremental_refutation.hpp"
 #include "maxsat/maxsat.hpp"
 #include "sat/solver.hpp"
@@ -172,6 +174,34 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     }
   };
 
+  // ---- Tier-2 analysis cache lookups ------------------------------------
+  // With a cache attached, the spec is canonicalized once and the static
+  // analyses are answered from (or stored into) the cache. Cached values
+  // equal what the cold computation below produces, so the synthesis
+  // trajectory is identical either way.
+  std::optional<dqbf::CanonicalForm> canon;
+  std::shared_ptr<const DependencyRelations> dep_rel;
+  if (options_.analysis_cache != nullptr) {
+    canon.emplace(dqbf::canonicalize(formula));
+    dep_rel = options_.analysis_cache->lookup_dependencies(canon->spec);
+    if (dep_rel != nullptr) {
+      ++stats.analysis_dependency_hits;
+    } else {
+      auto computed = std::make_shared<DependencyRelations>(
+          DependencyRelations::compute(formula));
+      options_.analysis_cache->store_dependencies(canon->spec, computed);
+      dep_rel = std::move(computed);
+    }
+  }
+  const auto deps_subset = [&](std::size_t j, std::size_t i) {
+    return dep_rel != nullptr ? dep_rel->is_subset(j, i)
+                              : formula.deps_subset(j, i);
+  };
+  const auto deps_equal = [&](std::size_t j, std::size_t i) {
+    return dep_rel != nullptr ? dep_rel->is_equal(j, i)
+                              : formula.deps_equal(j, i);
+  };
+
   // ---- Static ordering constraints (Algorithm 1, lines 3-5) -------------
   DependencyManager dep(m);
   for (std::size_t i = 0; i < m; ++i) {
@@ -179,8 +209,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
       if (i == j) continue;
       // H_j ⊂ H_i (strict): y_i may come to depend on y_j; pre-commit the
       // ordering edge so learning can never create a cycle.
-      if (formula.deps_subset(j, i) && !formula.deps_equal(j, i) &&
-          dep.can_use(i, j)) {
+      if (deps_subset(j, i) && !deps_equal(j, i) && dep.can_use(i, j)) {
         dep.record_use(i, j);
       }
     }
@@ -194,10 +223,30 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     UniqueDefExtractor unique(formula, options_.unique);
     for (std::size_t i = 0; i < m; ++i) {
       if (deadline.expired()) break;
-      if (unique.is_defined(i, &deadline) !=
-          UniqueDefExtractor::Defined::kYes) {
-        continue;
+      // Padoa check, answered from the tier-2 cache when a prior run
+      // already decided this (matrix, y_i, H_i) triple — possibly under a
+      // different spec or variable naming. Unknown (deadline) verdicts
+      // are neither used nor stored.
+      bool defined;
+      std::optional<bool> cached;
+      if (canon.has_value()) {
+        cached =
+            options_.analysis_cache->lookup_unique(canon->existential_keys[i]);
       }
+      if (cached.has_value()) {
+        ++stats.analysis_unique_hits;
+        defined = *cached;
+      } else {
+        const UniqueDefExtractor::Defined verdict =
+            unique.is_defined(i, &deadline);
+        if (verdict == UniqueDefExtractor::Defined::kUnknown) continue;
+        defined = verdict == UniqueDefExtractor::Defined::kYes;
+        if (canon.has_value()) {
+          options_.analysis_cache->store_unique(canon->existential_keys[i],
+                                                defined);
+        }
+      }
+      if (!defined) continue;
       const std::optional<aig::Ref> def = unique.extract(i, manager);
       if (def.has_value()) {
         f[i] = *def;
@@ -230,8 +279,8 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     if (fixed[i]) continue;
     feature_vars[i].assign(ex[i].deps.begin(), ex[i].deps.end());
     for (std::size_t j = 0; j < m; ++j) {
-      if (j == i || !formula.deps_subset(j, i)) continue;
-      const bool strict = !formula.deps_equal(j, i);
+      if (j == i || !deps_subset(j, i)) continue;
+      const bool strict = !deps_equal(j, i);
       if ((strict || j < i) && dep.can_use(i, j)) {
         feature_vars[i].push_back(ex[j].var);
       }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "core/analysis_cache.hpp"
 #include "core/unique_def.hpp"
 #include "dqbf/dqbf.hpp"
 #include "dtree/decision_tree.hpp"
@@ -87,6 +88,16 @@ struct Manthan3Options {
   /// and the remapper translates models/cores back to stable numbering.
   bool inprocess = true;
   std::size_t inprocess_interval = 32;
+  /// Cross-instance analysis cache (the service's tier 2): unique-def
+  /// Padoa verdicts and the dependency ⊆/= relations are looked up by
+  /// canonical fingerprints before being recomputed, and computed results
+  /// are stored for later runs — including runs on *near-duplicate* specs
+  /// (the unique-def keys only see (matrix, y_i, H_i)). Cached values are
+  /// exactly what a cold run would compute, so warm runs stay
+  /// field-for-field identical at a fixed seed. Null = no caching. The
+  /// cache is thread-safe and shared across concurrent syntheses; it must
+  /// outlive the run.
+  AnalysisCache* analysis_cache = nullptr;
   std::uint64_t seed = 42;
 };
 
@@ -157,6 +168,11 @@ struct SynthesisStats {
   /// since their last fit are refit, and a refit whose support would
   /// create a dependency cycle is rejected (its predecessor stays).
   std::size_t refit_candidates = 0;
+  // --- tier-2 analysis cache (zero when analysis_cache is null) -----------
+  /// Padoa verdicts answered from the cache (SAT checks skipped).
+  std::size_t analysis_unique_hits = 0;
+  /// Dependency ⊆/= relations answered from the cache (1 per warm run).
+  std::size_t analysis_dependency_hits = 0;
 };
 
 struct SynthesisResult {

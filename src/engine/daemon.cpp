@@ -1,0 +1,228 @@
+#include "engine/daemon.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "aig/aig_io.hpp"
+#include "dqbf/dqdimacs.hpp"
+#include "dqbf/fingerprint.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::engine {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string result_path_for(const fs::path& request) {
+  fs::path p = request;
+  p.replace_extension(".result.json");
+  return p.string();
+}
+
+/// Write `text` to `path` atomically: temp file + rename, so a drain
+/// interrupted mid-write leaves no half-result behind.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    if (!out.flush()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::string blif_certificate(const dqbf::DqbfFormula& formula,
+                             const ServiceResponse& response) {
+  aig::Aig manager;
+  const dqbf::HenkinVector vector = response.functions->import_into(manager);
+  std::vector<aig::NamedFunction> named;
+  named.reserve(vector.functions.size());
+  for (std::size_t i = 0; i < vector.functions.size(); ++i) {
+    named.push_back(
+        {"y" + std::to_string(formula.existentials()[i].var + 1),
+         vector.functions[i]});
+  }
+  std::ostringstream out;
+  aig::write_blif(out, manager, "henkin_functions", named);
+  return out.str();
+}
+
+std::string result_json(const std::string& request_name,
+                        const dqbf::DqbfFormula& formula,
+                        const ServiceResponse& response,
+                        bool with_certificate) {
+  const core::SynthesisStats& st = response.stats;
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"request\": \"" << json_escape(request_name) << "\",\n";
+  out << "  \"status\": \"" << status_name(response.status) << "\",\n";
+  out << "  \"engine\": \"" << engine_name(response.engine) << "\",\n";
+  out << "  \"certified\": " << (response.certified ? "true" : "false")
+      << ",\n";
+  out << "  \"cache_hit\": " << (response.cache_hit ? "true" : "false")
+      << ",\n";
+  out << "  \"raced\": " << (response.raced ? "true" : "false") << ",\n";
+  out << "  \"seconds\": " << response.solve_seconds << ",\n";
+  out << "  \"fingerprint\": \"" << dqbf::to_string(response.fingerprint)
+      << "\",\n";
+  out << "  \"stats\": {\n";
+  out << "    \"samples\": " << st.samples << ",\n";
+  out << "    \"unique_defined\": " << st.unique_defined << ",\n";
+  out << "    \"counterexamples\": " << st.counterexamples << ",\n";
+  out << "    \"repairs\": " << st.repairs << ",\n";
+  out << "    \"analysis_unique_hits\": " << st.analysis_unique_hits << ",\n";
+  out << "    \"analysis_dependency_hits\": " << st.analysis_dependency_hits
+      << "\n";
+  out << "  }";
+  if (with_certificate && response.solved() &&
+      response.functions != nullptr) {
+    out << ",\n  \"functions_blif\": \""
+        << json_escape(blif_certificate(formula, response)) << "\"";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string error_json(const std::string& request_name,
+                       const std::string& message) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"request\": \"" << json_escape(request_name) << "\",\n";
+  out << "  \"status\": \"error\",\n";
+  out << "  \"error\": \"" << json_escape(message) << "\"\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool stop_requested(const Service& service, const DaemonOptions& options) {
+  return service.shutting_down() ||
+         (options.stop != nullptr && options.stop->cancelled());
+}
+
+}  // namespace
+
+DrainReport drain_queue(Service& service, const DaemonOptions& options) {
+  DrainReport report;
+
+  std::vector<fs::path> pending;
+  {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(options.queue_dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".dqdimacs") continue;
+      pending.push_back(entry.path());
+    }
+    if (ec) return report;  // unreadable queue: nothing to do
+  }
+  std::sort(pending.begin(), pending.end());
+
+  for (const fs::path& request : pending) {
+    if (stop_requested(service, options)) {
+      report.stopped = true;
+      break;
+    }
+    if (options.max_requests != 0 &&
+        report.processed + report.failed >= options.max_requests) {
+      report.stopped = true;
+      break;
+    }
+    const std::string result_path = result_path_for(request);
+    if (fs::exists(result_path)) {
+      ++report.skipped;
+      continue;
+    }
+
+    RequestRecord record;
+    record.path = request.string();
+    const std::string name = request.filename().string();
+
+    dqbf::DqbfFormula formula;
+    bool parsed = false;
+    try {
+      std::ifstream in(request);
+      if (in) {
+        formula = dqbf::parse_dqdimacs(in);
+        parsed = true;
+      }
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    if (!parsed) {
+      record.malformed = true;
+      ++report.failed;
+      if (write_file_atomic(result_path,
+                            error_json(name, "unparsable DQDIMACS"))) {
+        record.result_path = result_path;
+      }
+      report.records.push_back(std::move(record));
+      continue;
+    }
+
+    util::Timer timer;
+    SolveOptions solve_options;
+    solve_options.time_limit_seconds = options.time_limit_seconds;
+    solve_options.cancel = options.stop;
+    solve_options.use_cache = options.use_cache;
+    const ServiceResponse response =
+        service.submit(formula, solve_options).get();
+    record.seconds = timer.seconds();
+    record.status = response.status;
+    record.certified = response.certified;
+    record.cache_hit = response.cache_hit;
+    record.cancelled = response.cancelled;
+
+    if (response.cancelled) {
+      // Interrupted, not answered: leave no result file so the next
+      // drain re-runs the request, and stop draining.
+      report.records.push_back(std::move(record));
+      report.stopped = true;
+      break;
+    }
+
+    ++report.processed;
+    if (response.solved()) ++report.solved;
+    if (response.cache_hit) ++report.cache_hits;
+    if (write_file_atomic(result_path,
+                          result_json(name, formula, response,
+                                      options.write_certificates))) {
+      record.result_path = result_path;
+    }
+    report.records.push_back(std::move(record));
+  }
+  return report;
+}
+
+}  // namespace manthan::engine

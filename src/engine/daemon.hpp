@@ -1,0 +1,82 @@
+// Directory-queue front end for the synthesis service.
+//
+// The deployment shape behind examples/manthan3d.cpp: producers drop
+// `*.dqdimacs` files into a queue directory; drain_queue() walks the
+// directory in lexicographic order, routes each request through an
+// engine::Service, and writes `<name>.result.json` next to the request —
+// status, engine, cache/race provenance, timing, the canonical spec
+// fingerprint, engine counters, and (for solved requests) the certified
+// Henkin functions embedded as a BLIF netlist. A request whose result
+// file already exists is skipped, so repeated drains (and daemon
+// restarts) are idempotent.
+//
+// Shutdown without leaked work: the stop token is checked between
+// requests and composed into each request's cancellation, so a SIGINT
+// mid-solve stops the engine at its next deadline poll; the cancelled
+// request writes no result file and is re-run by the next drain. Result
+// files are written to a temporary name and renamed into place, so a
+// crash mid-write never leaves a half-result that a later drain would
+// mistake for a finished one.
+//
+// Malformed requests (unparsable DQDIMACS) are counted as failed and get
+// an error-result file — a poisoned request must not wedge the queue by
+// being retried forever.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/manthan3.hpp"
+#include "engine/service.hpp"
+#include "util/cancel.hpp"
+
+namespace manthan::engine {
+
+struct DaemonOptions {
+  /// Directory holding `*.dqdimacs` request files.
+  std::string queue_dir;
+  /// Per-request budget in seconds; negative = the service default.
+  double time_limit_seconds = -1.0;
+  /// Stop after this many processed requests (0 = drain everything).
+  std::size_t max_requests = 0;
+  /// Checked between requests and composed into each request's
+  /// cancellation; null = only service shutdown can interrupt.
+  const util::CancelToken* stop = nullptr;
+  /// Consult/populate the service's tier-1 cache.
+  bool use_cache = true;
+  /// Embed the certified functions as BLIF in the result JSON.
+  bool write_certificates = true;
+};
+
+/// Per-request drain outcome.
+struct RequestRecord {
+  std::string path;         // request file
+  std::string result_path;  // result JSON (empty if none was written)
+  core::SynthesisStatus status = core::SynthesisStatus::kTimeout;
+  bool certified = false;
+  bool cache_hit = false;
+  /// Request file could not be parsed.
+  bool malformed = false;
+  /// Stopped by the stop token / service shutdown before a verdict.
+  bool cancelled = false;
+  double seconds = 0.0;
+};
+
+struct DrainReport {
+  std::size_t processed = 0;  // requests routed through the service
+  std::size_t solved = 0;     // certified realizable
+  std::size_t cache_hits = 0;
+  std::size_t failed = 0;   // malformed requests
+  std::size_t skipped = 0;  // result file already present
+  /// The drain ended early (stop token, shutdown, or max_requests).
+  bool stopped = false;
+  std::vector<RequestRecord> records;
+};
+
+/// Drain pending requests from options.queue_dir through `service`.
+/// Sequential (one request at a time — the service's admission policy
+/// turns idle cores into engine races); safe to call repeatedly.
+DrainReport drain_queue(Service& service, const DaemonOptions& options);
+
+}  // namespace manthan::engine

@@ -13,36 +13,6 @@
 
 namespace manthan::engine {
 
-namespace {
-
-/// Rebuild the cone of `root` (a ref in `src`) inside `dst`, reusing
-/// structural hashing of the destination. `node_map` maps src node index
-/// -> dst ref of the plain node and is shared across roots so common
-/// logic is imported once.
-aig::Ref import_cone(const aig::Aig& src, aig::Aig& dst, aig::Ref root,
-                     std::unordered_map<std::uint32_t, aig::Ref>& node_map) {
-  const auto translate = [&node_map](aig::Ref r) {
-    return node_map.at(aig::ref_node(r)) ^
-           (aig::ref_complemented(r) ? 1u : 0u);
-  };
-  for (const std::uint32_t idx : aig::cone_topo_order(src, root)) {
-    if (node_map.find(idx) != node_map.end()) continue;
-    const aig::Aig::Node& node = src.node(idx);
-    aig::Ref mapped;
-    if (idx == aig::ref_node(aig::kFalseRef)) {
-      mapped = aig::kFalseRef;
-    } else if (node.input_id >= 0) {
-      mapped = dst.input(node.input_id);
-    } else {
-      mapped = dst.and_gate(translate(node.fanin0), translate(node.fanin1));
-    }
-    node_map.emplace(idx, mapped);
-  }
-  return translate(root);
-}
-
-}  // namespace
-
 RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
                  const RaceOptions& options) {
   RaceOutcome outcome;
@@ -50,7 +20,10 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
   outcome.lanes.resize(n);
   if (n == 0) return outcome;
 
-  util::CancelToken cancel;
+  // The winner flips only the child flag; an external stop (service
+  // shutdown, per-request cancel) flows in through the parent without
+  // being conflated with a win.
+  util::AnyOfCancelToken cancel(options.cancel);
   std::mutex finish_mutex;  // guards winner selection across lanes
   std::vector<std::unique_ptr<aig::Aig>> managers(n);
   std::vector<core::SynthesisResult> results(n);
@@ -116,7 +89,7 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
       outcome.vector.functions.reserve(results[w].vector.functions.size());
       for (const aig::Ref f : results[w].vector.functions) {
         outcome.vector.functions.push_back(
-            import_cone(*managers[w], manager, f, node_map));
+            aig::import_cone(*managers[w], manager, f, node_map));
       }
     }
     return outcome;

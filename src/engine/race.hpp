@@ -24,6 +24,7 @@
 #include "core/manthan3.hpp"
 #include "dqbf/dqbf.hpp"
 #include "engine/engine.hpp"
+#include "util/cancel.hpp"
 
 namespace manthan::engine {
 
@@ -36,6 +37,11 @@ struct RaceOptions {
   std::uint64_t seed = 42;
   /// Knobs forwarded to Manthan3 lanes.
   core::Manthan3Options manthan3;
+  /// External stop signal (a service shutdown, a caller's per-request
+  /// cancel): composed with the race's internal winner token, so every
+  /// lane stops at its next poll when either fires. Null = the race can
+  /// only be ended by a winner or the time budget. Must outlive race().
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Outcome of one contender.

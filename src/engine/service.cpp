@@ -1,0 +1,273 @@
+#include "engine/service.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "dqbf/certificate.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::engine {
+
+namespace {
+
+std::size_t default_workers(std::size_t configured) {
+  if (configured != 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+}  // namespace
+
+dqbf::HenkinVector ResultCone::import_into(aig::Aig& dst) const {
+  dqbf::HenkinVector vector;
+  vector.functions.reserve(roots_.size());
+  std::unordered_map<std::uint32_t, aig::Ref> node_map;
+  for (const aig::Ref root : roots_) {
+    vector.functions.push_back(aig::import_cone(manager_, dst, root, node_map));
+  }
+  return vector;
+}
+
+struct Service::Job {
+  dqbf::DqbfFormula formula;
+  dqbf::CanonicalForm canon;
+  CacheKey key;
+  SolveOptions options;
+  bool coalescable = false;
+  bool coalesced = false;  // guarded by the service mutex
+  std::promise<ServiceResponse> promise;
+};
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(default_workers(options_.workers)) {}
+
+Service::~Service() {
+  shutdown();
+  // pool_ is the last member: its destructor drains every submitted job
+  // while the caches and maps above it are still alive.
+}
+
+void Service::shutdown() { shutdown_.cancel(); }
+
+std::shared_future<ServiceResponse> Service::submit(
+    const dqbf::DqbfFormula& formula, const SolveOptions& options) {
+  auto job = std::make_shared<Job>();
+  job->formula = formula;
+  job->canon = dqbf::canonicalize(formula);
+  job->key.fp = job->canon.spec;
+  job->key.mode =
+      options.engine
+          ? 1 + static_cast<std::uint32_t>(*options.engine)
+          : 0;
+  job->options = options;
+  job->coalescable = options_.coalesce && options.use_cache &&
+                     options.cancel == nullptr;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+
+    if (options.use_cache && options_.result_cache) {
+      const auto it = cache_.find(job->key);
+      if (it != cache_.end()) {
+        ++stats_.tier1_hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ServiceResponse response = it->second->response;
+        response.cache_hit = true;
+        std::promise<ServiceResponse> ready;
+        ready.set_value(std::move(response));
+        return ready.get_future().share();
+      }
+      ++stats_.tier1_misses;
+    }
+
+    if (job->coalescable) {
+      const auto it = inflight_.find(job->key);
+      if (it != inflight_.end()) {
+        ++stats_.coalesced;
+        // Flag the in-flight job so its response records the sharing.
+        // (The owning Job is reachable only through the future, so the
+        // flag lives on the response instead: set when the job ends.)
+        coalesced_keys_.insert(job->key);
+        return it->second;
+      }
+    }
+
+    ++queued_;
+    std::shared_future<ServiceResponse> future =
+        job->promise.get_future().share();
+    if (job->coalescable) inflight_.emplace(job->key, future);
+    pool_.submit([this, job]() {
+      try {
+        job->promise.set_value(run_job(job));
+      } catch (...) {
+        job->promise.set_exception(std::current_exception());
+      }
+    });
+    return future;
+  }
+}
+
+ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
+  bool race_mode = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+    if (!job->options.engine && options_.race_contenders.size() >= 2) {
+      switch (options_.admission) {
+        case ServiceOptions::Admission::kRace:
+          race_mode = true;
+          break;
+        case ServiceOptions::Admission::kAuto:
+          // Latency mode only while idle: a backlog means every worker
+          // is worth more as a separate request than as a race lane.
+          race_mode = queued_ == 0 && pool_.worker_count() >= 2;
+          break;
+        case ServiceOptions::Admission::kSingle:
+          break;
+      }
+    }
+    if (race_mode) {
+      ++stats_.races;
+    } else {
+      ++stats_.single_runs;
+    }
+  }
+
+  util::Timer timer;
+  util::AnyOfCancelToken token(&shutdown_, job->options.cancel);
+  const double limit = job->options.time_limit_seconds < 0.0
+                           ? options_.default_time_limit_seconds
+                           : job->options.time_limit_seconds;
+  core::Manthan3Options manthan3 = options_.manthan3;
+  if (options_.analysis_cache) manthan3.analysis_cache = &analysis_cache_;
+  // Seed from the canonical identity, not submission order: duplicate
+  // specs replay identical streams, which is what makes a tier-1 hit
+  // indistinguishable from re-solving.
+  const std::uint64_t seed = util::derive_seed(
+      options_.seed, job->canon.spec.hi ^ job->key.mode, job->canon.spec.lo);
+
+  ServiceResponse response;
+  response.fingerprint = job->canon.spec;
+  auto cone = std::make_shared<ResultCone>();
+
+  if (race_mode) {
+    RaceOptions race_options;
+    race_options.contenders = options_.race_contenders;
+    race_options.time_limit_seconds = limit;
+    race_options.seed = seed;
+    race_options.manthan3 = manthan3;
+    race_options.cancel = &token;
+    const RaceOutcome outcome = race(job->formula, cone->manager_,
+                                     race_options);
+    response.status = outcome.status;
+    response.certified = outcome.certified;
+    response.raced = true;
+    if (outcome.winner >= 0) {
+      const auto& lane = outcome.lanes[static_cast<std::size_t>(outcome.winner)];
+      response.engine = lane.engine;
+      response.stats = lane.stats;
+    }
+    if (outcome.solved()) {
+      cone->roots_ = outcome.vector.functions;
+      response.functions = std::move(cone);
+    }
+  } else {
+    const EngineKind kind =
+        job->options.engine.value_or(options_.single_engine);
+    EngineOptions engine_options;
+    engine_options.time_limit_seconds = limit;
+    engine_options.seed = seed;
+    engine_options.cancel = &token;
+    engine_options.manthan3 = manthan3;
+    core::SynthesisResult result =
+        run_engine(job->formula, cone->manager_, kind, engine_options);
+    response.status = result.status;
+    response.stats = result.stats;
+    response.engine = kind;
+    if (result.status == core::SynthesisStatus::kRealizable) {
+      const dqbf::CertificateResult cert = dqbf::check_certificate(
+          job->formula, cone->manager_, result.vector);
+      response.certified = cert.status == dqbf::CertificateStatus::kValid;
+      if (response.certified) {
+        cone->roots_ = result.vector.functions;
+        response.functions = std::move(cone);
+      }
+    }
+  }
+
+  response.solve_seconds = timer.seconds();
+  const bool definitive =
+      response.solved() ||
+      response.status == core::SynthesisStatus::kUnrealizable;
+  response.cancelled = token.cancelled() && !definitive;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    if (response.cancelled) ++stats_.cancelled;
+    if (job->coalescable) {
+      inflight_.erase(job->key);
+      const auto shared = coalesced_keys_.find(job->key);
+      if (shared != coalesced_keys_.end()) {
+        response.coalesced = true;
+        coalesced_keys_.erase(shared);
+      }
+    }
+    // Cache only trustworthy verdicts: certified vectors and proven
+    // unrealizability, never anything a token truncated.
+    if (job->options.use_cache && options_.result_cache && definitive &&
+        !response.cancelled) {
+      cache_store(job->key, response);
+    }
+  }
+  return response;
+}
+
+void Service::cache_store(const CacheKey& key, const ServiceResponse& response) {
+  // Callers hold mutex_.
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A coalescing race lost (two non-coalescable duplicates solved
+    // concurrently): keep the incumbent, results are identical anyway.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  CacheEntry entry;
+  entry.key = key;
+  entry.response = response;
+  entry.response.cache_hit = false;
+  entry.response.coalesced = false;
+  lru_.push_front(std::move(entry));
+  cache_.emplace(key, lru_.begin());
+  if (options_.result_cache_capacity != 0 &&
+      lru_.size() > options_.result_cache_capacity) {
+    cache_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+ServiceResult Service::solve(const dqbf::DqbfFormula& formula,
+                             aig::Aig& manager, const SolveOptions& options) {
+  ServiceResult result;
+  result.response = submit(formula, options).get();
+  if (result.response.functions != nullptr) {
+    result.vector = result.response.functions->import_into(manager);
+  }
+  return result;
+}
+
+ServiceStats Service::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.cache_entries = cache_.size();
+  snapshot.analysis = analysis_cache_.stats();
+  return snapshot;
+}
+
+}  // namespace manthan::engine

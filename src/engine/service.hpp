@@ -1,0 +1,283 @@
+// The synthesis service: a session-based, embeddable front door to the
+// engines.
+//
+// One Service owns a scheduler pool, an admission policy, and a two-tier
+// result cache; clients hold a Service for the lifetime of a session
+// (a daemon process, a suite run, an embedding application) and submit
+// any number of requests against it. Per-request work is keyed by the
+// canonical spec fingerprint (dqbf/fingerprint.hpp), which buys three
+// things no one-shot API can offer:
+//
+//   * Tier-1 result reuse. A certified SynthesisResult — status plus the
+//     Skolem/Henkin AIG cones, serialized into a private immutable
+//     manager — is stored under (fingerprint, engine-mode) in an LRU
+//     cache. A duplicate request (same spec up to clause order, literal
+//     order, and role-preserving variable renaming) is answered without
+//     touching a worker; callers import the cached cones into their own
+//     manager via aig::import_cone, exactly like a race winner's vector.
+//
+//   * Tier-2 analysis reuse. Every Manthan3 run executed by the service
+//     shares one core::AnalysisCache, so near-duplicate specs reuse
+//     unique-definability verdicts and dependency relations even when
+//     tier 1 misses.
+//
+//   * In-flight coalescing. Concurrent duplicate submissions (no
+//     per-request cancel token) share one underlying job and one future.
+//
+// Admission: when the service is idle (no queued requests) and has spare
+// workers, a request fans into engine::race across the configured
+// contenders — latency mode. Once a backlog forms, each request runs a
+// single engine — throughput mode, one worker per request. kSingle /
+// kRace force either behavior.
+//
+// Determinism: the per-request seed is derived from the service seed and
+// the spec fingerprint, never from submission order or wall clock, so a
+// warm hit is field-for-field identical to what the cold solve at the
+// same seed produced (the determinism guard in tests/test_service.cpp
+// pins this).
+//
+// Cancellation: each job observes a util::AnyOfCancelToken composed of
+// the service-wide shutdown token and the caller's optional per-request
+// token. shutdown() flips the service token and returns; the destructor
+// drains the pool, with every queued-but-unstarted job observing the
+// token at its first deadline poll and returning kTimeout quickly.
+// Cancelled results are never cached.
+//
+// Threading: submit() is safe from any thread. solve() blocks on the
+// returned future — calling it from inside a service worker can deadlock
+// a fully-busy pool (the scheduler's documented dependent-stage caveat);
+// embedders that need request chaining should use submit() and compose
+// futures outside the pool.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/analysis_cache.hpp"
+#include "core/manthan3.hpp"
+#include "dqbf/dqbf.hpp"
+#include "dqbf/fingerprint.hpp"
+#include "engine/engine.hpp"
+#include "engine/race.hpp"
+#include "engine/scheduler.hpp"
+#include "util/cancel.hpp"
+
+namespace manthan::engine {
+
+struct ServiceOptions {
+  /// Scheduler worker threads; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Default per-request wall-clock budget in seconds (0 = unlimited);
+  /// counted from job start, not from submission (queue wait is free).
+  double default_time_limit_seconds = 0.0;
+  /// Base seed: per-request seeds are derive_seed(seed, fp, mode).
+  std::uint64_t seed = 42;
+  /// Knobs forwarded to every Manthan3 run (time/seed/cancel and the
+  /// analysis_cache pointer are overridden per request by the service).
+  core::Manthan3Options manthan3;
+
+  enum class Admission {
+    kAuto,    // race when idle, single-engine when backlogged
+    kSingle,  // always one engine per request
+    kRace,    // always race (unless the request forces an engine)
+  };
+  Admission admission = Admission::kAuto;
+  /// Engine used for single-engine runs (backlog mode / kSingle).
+  EngineKind single_engine = EngineKind::kManthan3;
+  /// Contenders for race-mode requests.
+  std::vector<EngineKind> race_contenders{
+      EngineKind::kManthan3, EngineKind::kHqsLite, EngineKind::kPedantLite};
+
+  /// Enable the tier-1 certified-result cache.
+  bool result_cache = true;
+  /// Tier-1 LRU capacity (entries); 0 = unbounded.
+  std::size_t result_cache_capacity = 1024;
+  /// Enable the shared tier-2 analysis cache (unique-def verdicts,
+  /// dependency relations) across all Manthan3 runs.
+  bool analysis_cache = true;
+  /// Share one in-flight job between concurrent duplicate submissions
+  /// (only requests without a per-request cancel token coalesce — a
+  /// token must never cancel a stranger's request).
+  bool coalesce = true;
+};
+
+/// Per-request knobs for submit()/solve().
+struct SolveOptions {
+  /// Wall-clock budget in seconds; negative = service default.
+  double time_limit_seconds = -1.0;
+  /// Optional per-request stop flag, composed with the service shutdown
+  /// token. Must outlive the request. Requests carrying a token are
+  /// never coalesced with other submissions.
+  const util::CancelToken* cancel = nullptr;
+  /// Force this engine instead of the admission policy (cached under a
+  /// separate engine-mode tag).
+  std::optional<EngineKind> engine;
+  /// Consult and populate the tier-1 cache for this request.
+  bool use_cache = true;
+};
+
+/// Certified Henkin functions serialized as a private immutable AIG —
+/// the tier-1 cache value. Immutable after construction; any number of
+/// threads may import_into() concurrently.
+class ResultCone {
+ public:
+  /// Rebuild the functions in `dst` (shared strashing: importing into a
+  /// manager that already solved the same spec yields identical Refs).
+  dqbf::HenkinVector import_into(aig::Aig& dst) const;
+
+  const aig::Aig& manager() const { return manager_; }
+  const std::vector<aig::Ref>& roots() const { return roots_; }
+
+ private:
+  friend class Service;
+  aig::Aig manager_;
+  std::vector<aig::Ref> roots_;
+};
+
+/// Outcome of one service request.
+struct ServiceResponse {
+  core::SynthesisStatus status = core::SynthesisStatus::kTimeout;
+  /// Result independently validated by dqbf::check_certificate (set for
+  /// kRealizable only; kUnrealizable verdicts are engine-proven).
+  bool certified = false;
+  /// Answered from the tier-1 cache without running an engine.
+  bool cache_hit = false;
+  /// At least one duplicate submission attached to this job while it was
+  /// in flight (every holder of the shared future sees the same value).
+  bool coalesced = false;
+  /// Produced by a multi-engine race.
+  bool raced = false;
+  /// Stopped by shutdown or the per-request token before a verdict.
+  bool cancelled = false;
+  /// Engine that produced the result (race winner; meaningless when no
+  /// lane won).
+  EngineKind engine = EngineKind::kManthan3;
+  /// Engine execution seconds (0 for cache hits; queue wait excluded).
+  double solve_seconds = 0.0;
+  /// Canonical spec fingerprint of the request.
+  dqbf::Fingerprint fingerprint;
+  /// Stats of the run that produced the result (the winning lane's for
+  /// races; preserved verbatim on cache hits).
+  core::SynthesisStats stats;
+  /// Non-null iff solved(): the certified functions, importable into any
+  /// manager. Shared with the cache — do not mutate through it.
+  std::shared_ptr<const ResultCone> functions;
+
+  bool solved() const {
+    return status == core::SynthesisStatus::kRealizable && certified;
+  }
+};
+
+/// solve() convenience: the response plus the functions imported into
+/// the caller's manager.
+struct ServiceResult {
+  ServiceResponse response;
+  /// Valid when response.solved(): functions in the caller's manager,
+  /// indexed like formula.existentials().
+  dqbf::HenkinVector vector;
+
+  bool solved() const { return response.solved(); }
+};
+
+/// Aggregate service counters (monotonic since construction).
+struct ServiceStats {
+  std::size_t requests = 0;        // submit() calls
+  std::size_t completed = 0;       // jobs executed on workers
+  std::size_t tier1_hits = 0;      // answered from the result cache
+  std::size_t tier1_misses = 0;    // cache consulted, no entry
+  std::size_t coalesced = 0;       // submissions attached to in-flight jobs
+  std::size_t races = 0;           // jobs run in race mode
+  std::size_t single_runs = 0;     // jobs run single-engine
+  std::size_t cancelled = 0;       // jobs stopped by a token
+  std::size_t cache_entries = 0;   // current tier-1 size
+  std::size_t cache_evictions = 0;
+  /// Tier-2 counters (all zeros when the analysis cache is disabled).
+  core::AnalysisCache::Stats analysis;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  /// shutdown() + drain: blocks until every submitted job has returned.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submit one request; never blocks on solving (cache hits resolve the
+  /// future before returning). The formula is copied into the job, so
+  /// the caller's copy may be destroyed immediately.
+  std::shared_future<ServiceResponse> submit(const dqbf::DqbfFormula& formula,
+                                             const SolveOptions& options = {});
+
+  /// Submit + wait + import the functions into `manager`. Blocking; do
+  /// not call from inside a service worker (pool deadlock).
+  ServiceResult solve(const dqbf::DqbfFormula& formula, aig::Aig& manager,
+                      const SolveOptions& options = {});
+
+  /// Flip the service-wide shutdown token: in-flight jobs stop at their
+  /// next deadline poll, queued jobs return kTimeout at their first.
+  /// Idempotent; does not block (the destructor drains).
+  void shutdown();
+  bool shutting_down() const { return shutdown_.cancelled(); }
+
+  ServiceStats stats() const;
+  std::size_t worker_count() const { return pool_.worker_count(); }
+  /// The shared tier-2 cache (valid regardless of options; unused by
+  /// jobs when analysis_cache is disabled).
+  core::AnalysisCache& analysis_cache() { return analysis_cache_; }
+
+ private:
+  struct CacheKey {
+    dqbf::Fingerprint fp;
+    std::uint32_t mode = 0;  // 0 = policy-admitted, 1 + engine = forced
+    bool operator==(const CacheKey& o) const {
+      return fp == o.fp && mode == o.mode;
+    }
+  };
+  struct CacheKeyHasher {
+    std::size_t operator()(const CacheKey& k) const {
+      return dqbf::FingerprintHasher{}(k.fp) ^
+             (static_cast<std::size_t>(k.mode) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct Job;
+
+  ServiceResponse run_job(const std::shared_ptr<Job>& job);
+  void cache_store(const CacheKey& key, const ServiceResponse& response);
+
+  ServiceOptions options_;
+  util::CancelToken shutdown_;
+  core::AnalysisCache analysis_cache_;
+
+  mutable std::mutex mutex_;  // guards cache + coalescing maps + stats
+  // Tier-1 LRU: most-recent at the front of lru_; map values point into
+  // the list.
+  struct CacheEntry {
+    CacheKey key;
+    ServiceResponse response;  // cache_hit/coalesced false; rewritten per hit
+  };
+  std::list<CacheEntry> lru_;
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHasher>
+      cache_;
+  std::unordered_map<CacheKey, std::shared_future<ServiceResponse>,
+                     CacheKeyHasher>
+      inflight_;
+  /// Keys whose in-flight job picked up a duplicate submission; consumed
+  /// when the job finishes to set ServiceResponse::coalesced.
+  std::unordered_set<CacheKey, CacheKeyHasher> coalesced_keys_;
+  ServiceStats stats_;
+  std::size_t queued_ = 0;  // submitted, not yet started on a worker
+
+  Scheduler pool_;  // last member: drains before the maps die
+};
+
+}  // namespace manthan::engine

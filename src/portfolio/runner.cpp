@@ -91,6 +91,45 @@ std::vector<RunRecord> Runner::run_suite(
   return records;
 }
 
+std::vector<RunRecord> Runner::run_suite(
+    const std::vector<workloads::Instance>& suite,
+    const std::vector<EngineKind>& engines,
+    engine::Service& service) const {
+  // Submit everything up front (instance-major, matching the serial
+  // order), then collect: the service queues the backlog across its own
+  // workers, and duplicate specs coalesce or hit the result cache.
+  std::vector<std::shared_future<engine::ServiceResponse>> futures;
+  futures.reserve(suite.size() * engines.size());
+  for (const workloads::Instance& instance : suite) {
+    for (const EngineKind engine : engines) {
+      engine::SolveOptions solve_options;
+      solve_options.time_limit_seconds = options_.per_instance_seconds;
+      solve_options.engine = engine;
+      futures.push_back(service.submit(instance.formula, solve_options));
+    }
+  }
+
+  std::vector<RunRecord> records;
+  records.reserve(futures.size());
+  std::size_t slot = 0;
+  for (const workloads::Instance& instance : suite) {
+    for (const EngineKind engine : engines) {
+      const engine::ServiceResponse response = futures[slot++].get();
+      RunRecord record;
+      record.instance = instance.name;
+      record.family = instance.family;
+      record.engine = engine;
+      record.status = response.status;
+      record.certified = response.certified;
+      record.cache_hit = response.cache_hit;
+      record.seconds = response.solve_seconds;
+      record.stats = response.stats;
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
 namespace {
 
 /// instance -> engine -> solving time (only solved runs).

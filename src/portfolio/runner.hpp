@@ -12,6 +12,7 @@
 
 #include "core/manthan3.hpp"
 #include "engine/engine.hpp"
+#include "engine/service.hpp"
 #include "workloads/workloads.hpp"
 
 namespace manthan::portfolio {
@@ -29,6 +30,9 @@ struct RunRecord {
   core::SynthesisStatus status = core::SynthesisStatus::kLimit;
   /// Certificate-checker verdict for kRealizable results.
   bool certified = false;
+  /// Answered from a service's tier-1 result cache (service-routed
+  /// suites only; the direct paths always solve).
+  bool cache_hit = false;
   double seconds = 0.0;
   core::SynthesisStats stats;
 
@@ -80,6 +84,20 @@ class Runner {
       const std::vector<workloads::Instance>& suite,
       const std::vector<EngineKind>& engines,
       const ParallelOptions& parallel) const;
+
+  /// Route the suite through a synthesis service: every (instance,
+  /// engine) pair is submitted with the engine forced, the service's
+  /// pool provides the parallelism, and duplicate instances (including
+  /// isomorphic renamings) are answered from the tier-1 cache —
+  /// cache-served records carry cache_hit = true and the cached run's
+  /// stats. Seeds derive from spec fingerprints (the service's
+  /// contract), not instance names, so timings differ from the direct
+  /// paths while statuses agree under comfortable budgets. The runner's
+  /// per_instance_seconds overrides the service default budget.
+  std::vector<RunRecord> run_suite(
+      const std::vector<workloads::Instance>& suite,
+      const std::vector<EngineKind>& engines,
+      engine::Service& service) const;
 
  private:
   RunnerOptions options_;

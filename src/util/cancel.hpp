@@ -18,22 +18,54 @@ namespace manthan::util {
 /// Thread-safe cancellation flag. cancel() is sticky: once set, every
 /// subsequent cancelled() poll (from any thread) returns true until
 /// reset(). All operations are lock-free.
+///
+/// cancelled() is virtual so that composed tokens (AnyOfCancelToken) can
+/// observe parent flags through the same `const CancelToken*` that every
+/// Deadline poll site already carries. Polls happen on budget cadences
+/// (thousands of decisions apart), so the virtual dispatch is free in
+/// practice.
 class CancelToken {
  public:
   CancelToken() = default;
+  virtual ~CancelToken() = default;
   // The flag is the identity of the token; copying would silently split
   // cancellation into two independent flags.
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
 
   void cancel() { flag_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+  virtual bool cancelled() const {
+    return flag_.load(std::memory_order_relaxed);
+  }
 
   /// Re-arm the token for reuse (only safe once no worker polls it).
   void reset() { flag_.store(false, std::memory_order_relaxed); }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// Any-of composition: cancelled once its own flag OR any parent token is
+/// cancelled. cancel() sets only the child's flag — a race winner stopping
+/// its losers must not stop the service that issued the race, while a
+/// service shutdown must stop every request composed under it. Parents
+/// must outlive the child; null parents are allowed and ignored, so the
+/// common "request token may be absent" wiring needs no branches.
+class AnyOfCancelToken final : public CancelToken {
+ public:
+  explicit AnyOfCancelToken(const CancelToken* a = nullptr,
+                            const CancelToken* b = nullptr)
+      : parent_a_(a), parent_b_(b) {}
+
+  bool cancelled() const override {
+    return CancelToken::cancelled() ||
+           (parent_a_ != nullptr && parent_a_->cancelled()) ||
+           (parent_b_ != nullptr && parent_b_->cancelled());
+  }
+
+ private:
+  const CancelToken* parent_a_;
+  const CancelToken* parent_b_;
 };
 
 }  // namespace manthan::util

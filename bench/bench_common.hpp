@@ -16,11 +16,23 @@
 #include <string>
 #include <vector>
 
+#include "obs/memory.hpp"
 #include "portfolio/runner.hpp"
 #include "portfolio/tables.hpp"
 #include "workloads/workloads.hpp"
 
 namespace manthan::bench {
+
+/// Attach the process-memory gauges to a Google Benchmark state (templated
+/// so this header does not require benchmark.h). Peak RSS is cumulative
+/// over the process — meaningful for the BENCH_*.json archives, where each
+/// binary runs a known benchmark set.
+template <typename State>
+void report_memory_counters(State& state) {
+  state.counters["peak_rss_bytes"] =
+      static_cast<double>(obs::peak_rss_bytes());
+  state.counters["rss_bytes"] = static_cast<double>(obs::current_rss_bytes());
+}
 
 inline std::size_t env_scale() {
   const char* s = std::getenv("MANTHAN3_BENCH_SCALE");

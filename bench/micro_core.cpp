@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/manthan3.hpp"
 #include "dqbf/certificate.hpp"
 #include "dqbf/incremental_refutation.hpp"
@@ -88,6 +89,11 @@ void run_pipeline(benchmark::State& state,
       static_cast<double>(last.stats.cones_reused);
   state.counters["activations_retired"] =
       static_cast<double>(last.stats.activations_retired);
+  state.counters["verify_arena_bytes"] =
+      static_cast<double>(last.stats.verify_arena_bytes);
+  state.counters["sample_matrix_bytes"] =
+      static_cast<double>(last.stats.sample_matrix_bytes);
+  manthan::bench::report_memory_counters(state);
 }
 
 void BM_PipelineIncrementalPlanted(benchmark::State& state) {

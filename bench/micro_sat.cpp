@@ -4,6 +4,7 @@
 // the planted / xor-family workload generators.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "cnf/cnf.hpp"
 #include "dqbf/dqbf.hpp"
 #include "sat/solver.hpp"
@@ -210,6 +211,7 @@ void BM_SatInprocessPlanted(benchmark::State& state) {
     arena_bytes = s.stats().arena_bytes;
   }
   state.counters["arena_bytes"] = static_cast<double>(arena_bytes);
+  manthan::bench::report_memory_counters(state);
 }
 BENCHMARK(BM_SatInprocessPlanted)
     ->Args({800, 0})
@@ -244,6 +246,7 @@ void BM_SatInprocessXorFamily(benchmark::State& state) {
     arena_bytes = s.stats().arena_bytes;
   }
   state.counters["arena_bytes"] = static_cast<double>(arena_bytes);
+  manthan::bench::report_memory_counters(state);
 }
 BENCHMARK(BM_SatInprocessXorFamily)
     ->Args({64, 0})

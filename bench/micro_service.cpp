@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dqbf/fingerprint.hpp"
 #include "engine/service.hpp"
 #include "workloads/workloads.hpp"
@@ -97,6 +98,7 @@ void BM_ServiceWarmHit(benchmark::State& state) {
     benchmark::DoNotOptimize(result.vector.functions.size());
   }
   state.counters["hits"] = static_cast<double>(hits);
+  manthan::bench::report_memory_counters(state);
 }
 BENCHMARK(BM_ServiceWarmHit)->Unit(benchmark::kMicrosecond);
 

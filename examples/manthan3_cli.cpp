@@ -14,6 +14,10 @@
 //     --verilog <file>               write functions as Verilog
 //     --seed <n>                     engine seed
 //     --demo                         use the paper's worked example
+//     --planted <seed>               solve a generated planted instance
+//     --trace <file>                 write a Chrome trace of the run
+//     --metrics-json <file>          write a metrics snapshot as JSON
+//     --metrics-prom <file>          write Prometheus text exposition
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,8 +28,12 @@
 #include "core/manthan3.hpp"
 #include "dqbf/certificate.hpp"
 #include "dqbf/dqdimacs.hpp"
+#include "engine/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "portfolio/runner.hpp"
 #include "preprocess/hqspre_lite.hpp"
+#include "workloads/workloads.hpp"
 
 namespace {
 
@@ -50,8 +58,13 @@ struct CliOptions {
   bool preprocess = false;
   bool unique = true;
   bool demo = false;
+  bool planted = false;
+  std::uint64_t planted_seed = 1;
   std::string blif_path;
   std::string verilog_path;
+  std::string trace_path;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
   std::string input_path;
   std::uint64_t seed = 42;
 };
@@ -60,8 +73,33 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--engine manthan3|hqs|pedant] [--timeout S]"
                " [--preprocess] [--no-unique] [--blif F] [--verilog F]"
-               " [--seed N] (--demo | instance.dqdimacs)\n";
+               " [--trace F] [--metrics-json F] [--metrics-prom F]"
+               " [--seed N] (--demo | --planted SEED | instance.dqdimacs)\n";
   return 2;
+}
+
+/// Flush telemetry to the files requested on the command line. Called on
+/// every exit path after the solve so even UNREALIZABLE runs report.
+void write_telemetry(const CliOptions& cli) {
+  if (!cli.trace_path.empty()) {
+    if (manthan::obs::write_trace_json_atomic(cli.trace_path)) {
+      std::cout << "wrote " << cli.trace_path << " ("
+                << manthan::obs::trace_event_count() << " events)\n";
+    } else {
+      std::cerr << "cannot write " << cli.trace_path << "\n";
+    }
+  }
+  if (!cli.metrics_json_path.empty()) {
+    manthan::obs::write_file_atomic(
+        cli.metrics_json_path, manthan::obs::Registry::global().to_json());
+    std::cout << "wrote " << cli.metrics_json_path << "\n";
+  }
+  if (!cli.metrics_prom_path.empty()) {
+    manthan::obs::write_file_atomic(
+        cli.metrics_prom_path,
+        manthan::obs::Registry::global().to_prometheus());
+    std::cout << "wrote " << cli.metrics_prom_path << "\n";
+  }
 }
 
 }  // namespace
@@ -93,6 +131,15 @@ int main(int argc, char** argv) {
       cli.seed = std::stoull(next("--seed"));
     } else if (arg == "--demo") {
       cli.demo = true;
+    } else if (arg == "--planted") {
+      cli.planted = true;
+      cli.planted_seed = std::stoull(next("--planted"));
+    } else if (arg == "--trace") {
+      cli.trace_path = next("--trace");
+    } else if (arg == "--metrics-json") {
+      cli.metrics_json_path = next("--metrics-json");
+    } else if (arg == "--metrics-prom") {
+      cli.metrics_prom_path = next("--metrics-prom");
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] != '-') {
@@ -102,12 +149,34 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (!cli.demo && cli.input_path.empty()) return usage(argv[0]);
+  if (!cli.demo && !cli.planted && cli.input_path.empty()) {
+    return usage(argv[0]);
+  }
+  if (!cli.trace_path.empty()) manthan::obs::start_tracing();
+  // Export the service_* series (zero-valued: the CLI solves in-process)
+  // so one scrape config covers the CLI and the daemon alike.
+  if (!cli.metrics_json_path.empty() || !cli.metrics_prom_path.empty()) {
+    manthan::engine::register_service_metrics();
+  }
 
   // --- load -----------------------------------------------------------
   manthan::dqbf::DqbfFormula original;
   try {
-    if (cli.demo) {
+    if (cli.planted) {
+      // Same planted-family shape the core micro-benchmarks exercise:
+      // nested dependency chains, tree-learnable functions, enough
+      // clauses to force several verify/repair rounds.
+      manthan::workloads::PlantedParams params;
+      params.num_universals = 12;
+      params.num_existentials = 6;
+      params.dep_size = 4;
+      params.function_gates = 6;
+      params.num_clauses = 80;
+      params.seed = cli.planted_seed;
+      params.nested_deps = true;
+      params.dep_size_max = 10;
+      original = manthan::workloads::gen_planted(params);
+    } else if (cli.demo) {
       original = manthan::dqbf::parse_dqdimacs_string(kDemo);
     } else {
       std::ifstream in(cli.input_path);
@@ -187,7 +256,16 @@ int main(int argc, char** argv) {
               << " counterexample samples appended, "
               << result.stats.refit_rounds << " refit rounds / "
               << result.stats.refit_candidates << " candidates refit\n";
+    std::cout << "memory: peak RSS "
+              << result.stats.peak_rss_bytes / (1024 * 1024) << " MiB, "
+              << "sample matrix " << result.stats.sample_matrix_bytes / 1024
+              << " KiB, verify arena "
+              << result.stats.verify_arena_bytes / 1024
+              << " KiB, phi arena " << result.stats.phi_arena_bytes / 1024
+              << " KiB, AIG " << result.stats.aig_nodes << " nodes ("
+              << result.stats.aig_bytes / 1024 << " KiB)\n";
   }
+  write_telemetry(cli);
   if (result.status == manthan::core::SynthesisStatus::kUnrealizable) {
     std::cout << "result: UNREALIZABLE\n";
     return 20;

@@ -25,17 +25,24 @@
 //     --poll-ms <n>       sleep between drains (default 200)
 //     --max-requests <n>  stop after n requests (0 = unlimited)
 //     --no-cache          disable the tier-1 result cache
-//     --stats-json <f>    write service counters to f on exit
+//     --stats-json <f>    write service counters to f (rewritten
+//                         atomically after every drain cycle, so a killed
+//                         daemon leaves fresh counters behind)
+//     --trace <f>         Chrome trace, rewritten after every drain
+//     --metrics-json <f>  metrics snapshot as JSON, ditto
+//     --metrics-prom <f>  Prometheus text exposition, ditto
 #include <chrono>
 #include <csignal>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "engine/daemon.hpp"
 #include "engine/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
 
 namespace {
@@ -56,19 +63,26 @@ struct CliOptions {
   std::size_t max_requests = 0;
   bool use_cache = true;
   std::string stats_json;
+  std::string trace_path;
+  std::string metrics_json;
+  std::string metrics_prom;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --queue DIR [--workers N] [--timeout S] [--seed N]"
                " [--once] [--poll-ms N] [--max-requests N] [--no-cache]"
-               " [--stats-json F]\n";
+               " [--stats-json F] [--trace F] [--metrics-json F]"
+               " [--metrics-prom F]\n";
   return 2;
 }
 
+/// Service counters as JSON, written atomically (temp + rename): a
+/// SIGKILL between drains leaves the last complete snapshot, never a
+/// torn file.
 void write_stats(const std::string& path,
                  const manthan::engine::ServiceStats& stats) {
-  std::ofstream out(path, std::ios::trunc);
+  std::ostringstream out;
   out << "{\n";
   out << "  \"requests\": " << stats.requests << ",\n";
   out << "  \"completed\": " << stats.completed << ",\n";
@@ -84,6 +98,25 @@ void write_stats(const std::string& path,
   out << "  \"analysis_dependency_hits\": " << stats.analysis.dependency_hits
       << "\n";
   out << "}\n";
+  manthan::obs::write_file_atomic(path, out.str());
+}
+
+/// Rewrite every requested telemetry file. Called after each drain cycle
+/// and once more at shutdown; all writes are temp + rename.
+void write_telemetry(const CliOptions& cli,
+                     const manthan::engine::Service& service) {
+  if (!cli.stats_json.empty()) write_stats(cli.stats_json, service.stats());
+  if (!cli.trace_path.empty()) {
+    manthan::obs::write_trace_json_atomic(cli.trace_path);
+  }
+  if (!cli.metrics_json.empty()) {
+    manthan::obs::write_file_atomic(
+        cli.metrics_json, manthan::obs::Registry::global().to_json());
+  }
+  if (!cli.metrics_prom.empty()) {
+    manthan::obs::write_file_atomic(
+        cli.metrics_prom, manthan::obs::Registry::global().to_prometheus());
+  }
 }
 
 }  // namespace
@@ -117,6 +150,12 @@ int main(int argc, char** argv) {
       cli.use_cache = false;
     } else if (arg == "--stats-json") {
       cli.stats_json = next("--stats-json");
+    } else if (arg == "--trace") {
+      cli.trace_path = next("--trace");
+    } else if (arg == "--metrics-json") {
+      cli.metrics_json = next("--metrics-json");
+    } else if (arg == "--metrics-prom") {
+      cli.metrics_prom = next("--metrics-prom");
     } else {
       return usage(argv[0]);
     }
@@ -125,6 +164,8 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  if (!cli.trace_path.empty()) manthan::obs::start_tracing();
 
   manthan::engine::ServiceOptions service_options;
   service_options.workers = cli.workers;
@@ -147,6 +188,9 @@ int main(int argc, char** argv) {
     const manthan::engine::DrainReport report =
         drain_queue(service, daemon_options);
     total_processed += report.processed;
+    // Telemetry files are freshest-complete-state: rewritten after every
+    // drain so a killed daemon still leaves usable counters and traces.
+    write_telemetry(cli, service);
     for (const auto& record : report.records) {
       std::cout << record.path << ": "
                 << (record.malformed
@@ -168,7 +212,7 @@ int main(int argc, char** argv) {
 
   service.shutdown();
   const manthan::engine::ServiceStats stats = service.stats();
-  if (!cli.stats_json.empty()) write_stats(cli.stats_json, stats);
+  write_telemetry(cli, service);
   std::cout << "manthan3d: " << stats.requests << " requests, "
             << stats.tier1_hits << " cache hits, " << stats.races
             << " races; shutting down\n";

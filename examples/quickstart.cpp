@@ -56,6 +56,10 @@ int main() {
             << " activations_retired=" << result.stats.activations_retired
             << " verify_vars=" << result.stats.verify_vars
             << " phi_vars=" << result.stats.phi_vars << "\n";
+  std::cout << "memory: peak_rss=" << result.stats.peak_rss_bytes / 1024
+            << "KiB sample_matrix=" << result.stats.sample_matrix_bytes
+            << "B verify_arena=" << result.stats.verify_arena_bytes
+            << "B aig_nodes=" << result.stats.aig_nodes << "\n";
   for (std::size_t i = 0; i < result.vector.functions.size(); ++i) {
     const auto support = manager.support(result.vector.functions[i]);
     std::cout << "  y" << i + 1 << " = function of {";

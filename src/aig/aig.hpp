@@ -89,6 +89,9 @@ class Aig {
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_inputs() const { return input_of_id_.size(); }
+  /// Heap bytes of the node table (capacity). Feeds memory gauges; the
+  /// strash table is transient and excluded on purpose.
+  std::size_t node_bytes() const { return nodes_.capacity() * sizeof(Node); }
 
   // Internal node accessors (used by the CNF encoder and simulator).
   struct Node {

@@ -65,6 +65,12 @@ class SampleMatrix {
 
   void reserve(std::size_t samples);
 
+  /// Heap bytes held by the packed matrix (capacity, not size: this is
+  /// what the process actually pays). Feeds the memory-accounting gauges.
+  std::size_t bytes() const {
+    return data_.capacity() * sizeof(std::uint64_t);
+  }
+
  private:
   void grow_words(std::size_t words);
 

@@ -16,6 +16,9 @@
 #include "dqbf/fingerprint.hpp"
 #include "dqbf/incremental_refutation.hpp"
 #include "maxsat/maxsat.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -73,6 +76,11 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
                                      aig::Aig& manager) {
   util::Timer total_timer;
   const util::Deadline deadline(options_.time_limit_seconds, options_.cancel);
+  // Telemetry only: spans tag every phase of this run with the caller's
+  // trace id (the service passes the spec fingerprint). When tracing is
+  // off each Span costs one relaxed atomic load.
+  const std::uint64_t trace_id = options_.trace_id;
+  obs::Span run_span("synthesize", "phase", trace_id);
   SynthesisResult result;
   SynthesisStats& stats = result.stats;
   const cnf::CnfFormula& matrix = formula.matrix();
@@ -89,6 +97,9 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   // once before the verify/repair loop, lives in this scope so finish()
   // can snapshot its stats.
   std::optional<dqbf::IncrementalRefutation> verifier;
+  // Training matrix; declared before finish() so the exit snapshot can
+  // report its footprint. Filled by the sampling phase below.
+  cnf::SampleMatrix samples;
 
   const auto finish = [&](SynthesisStatus status) {
     result.status = status;
@@ -120,8 +131,41 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
       stats.verify_vars = static_cast<std::size_t>(vs.vars_allocated);
       stats.verify_clauses_retired =
           static_cast<std::size_t>(vs.retired_clauses);
+      stats.verify_arena_bytes = vs.arena_bytes;
       add_maintenance(vs);
     }
+    // Memory snapshot (process-global values; see the stats doc).
+    stats.peak_rss_bytes = obs::peak_rss_bytes();
+    stats.sample_matrix_bytes = samples.bytes();
+    stats.phi_arena_bytes = phi_stats.arena_bytes;
+    stats.aig_nodes = manager.num_nodes();
+    stats.aig_bytes = manager.node_bytes();
+    // Publish run counters into the global registry (core_* series).
+    // Instrument references are cached after the first run.
+    auto& registry = obs::Registry::global();
+    static obs::Counter& runs = registry.counter("core_runs_total");
+    static obs::Counter& cex =
+        registry.counter("core_counterexamples_total");
+    static obs::Counter& repairs = registry.counter("core_repairs_total");
+    static obs::Counter& maxsat_calls =
+        registry.counter("core_maxsat_calls_total");
+    static obs::Counter& refits = registry.counter("core_refit_rounds_total");
+    static obs::Counter& samples_total =
+        registry.counter("core_samples_total");
+    static obs::Histogram& run_seconds =
+        registry.histogram("core_synthesize_seconds");
+    static obs::Gauge& matrix_peak =
+        registry.gauge("core_sample_matrix_peak_bytes");
+    static obs::Gauge& aig_peak = registry.gauge("core_aig_peak_bytes");
+    runs.inc();
+    cex.add(stats.counterexamples);
+    repairs.add(stats.repairs);
+    maxsat_calls.add(stats.maxsat_calls);
+    refits.add(stats.refit_rounds);
+    samples_total.add(stats.samples + stats.samples_appended);
+    run_seconds.observe(stats.total_seconds);
+    matrix_peak.update_max(static_cast<double>(stats.sample_matrix_bytes));
+    aig_peak.update_max(static_cast<double>(stats.aig_bytes));
     return result;
   };
 
@@ -139,8 +183,10 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   std::vector<Var> y_vars;
   y_vars.reserve(m);
   for (const dqbf::Existential& e : ex) y_vars.push_back(e.var);
-  cnf::SampleMatrix samples =
-      sampler.sample_packed(matrix, y_vars, &deadline);
+  {
+    obs::Span span("sample", "phase", trace_id);
+    samples = sampler.sample_packed(matrix, y_vars, &deadline);
+  }
   stats.sampling_seconds = phase_timer.seconds();
   stats.samples = samples.num_samples();
   if (samples.empty()) {
@@ -220,6 +266,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
 
   // ---- UNIQUE-style preprocessing ---------------------------------------
   if (options_.use_unique_extraction) {
+    obs::Span span("unique_def", "phase", trace_id);
     UniqueDefExtractor unique(formula, options_.unique);
     for (std::size_t i = 0; i < m; ++i) {
       if (deadline.expired()) break;
@@ -356,8 +403,11 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     }
   };
 
-  run_fits(jobs, 0);
-  adopt_trees(jobs);
+  {
+    obs::Span span("learn", "phase", trace_id);
+    run_fits(jobs, 0);
+    adopt_trees(jobs);
+  }
   stats.learned_candidates = jobs.size();
   stats.learning_seconds = phase_timer.seconds();
 
@@ -373,6 +423,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   refresh_order();
 
   const auto substitute_and_return = [&]() {
+    obs::Span span("substitute", "phase", trace_id);
     // Substitute (Algorithm 1, line 19): walk Order from its tail so that
     // every referenced existential is already expressed over universals.
     std::vector<aig::Ref> final_functions(m, aig::kFalseRef);
@@ -413,6 +464,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   const auto maybe_maintain = [&] {
     if (!maintain_solvers || stats.counterexamples < next_maintenance) return;
     next_maintenance = stats.counterexamples + options_.inprocess_interval;
+    obs::Span span("inprocess", "phase", trace_id);
     verifier->maintain();
     repair_maxsat.maintain();
   };
@@ -431,6 +483,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     // Periodic refits wait for ~50% fresh data; a stuck round refits on
     // whatever arrived.
     if (!force && 2 * grown < last_fit_samples) return;
+    obs::Span span("refit", "phase", trace_id);
     // Staleness screen. Periodic (growth-triggered) refits only touch
     // candidates that mis-predict a row appended since the last fit:
     // mismatches on older rows are either inherent (φ has several Y per
@@ -533,24 +586,28 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     const bool round_random_polarity = no_progress_rounds > 0;
     sat::Result verify_result;
     std::optional<sat::Solver> oneshot_solver;  // oracle mode: owns δ
-    if (options_.incremental) {
-      sat::Solver& verify_solver = verifier->solver();
-      verify_solver.reseed(round_seed);
-      verify_solver.options().random_branch_freq = round_branch_freq;
-      verify_solver.options().random_polarity = round_random_polarity;
-      verify_result = verifier->check(dqbf::HenkinVector{f}, deadline);
-    } else {
-      const cnf::CnfFormula refutation =
-          dqbf::build_refutation_cnf(formula, manager, dqbf::HenkinVector{f});
-      sat::SolverOptions verify_options;
-      verify_options.seed = round_seed;
-      verify_options.random_branch_freq = round_branch_freq;
-      verify_options.random_polarity = round_random_polarity;
-      oneshot_solver.emplace(verify_options);
-      if (!oneshot_solver->add_formula(refutation)) {
-        verify_result = sat::Result::kUnsat;
+    {
+      obs::Span span("verify.round", "phase", trace_id);
+      if (options_.incremental) {
+        sat::Solver& verify_solver = verifier->solver();
+        verify_solver.reseed(round_seed);
+        verify_solver.options().random_branch_freq = round_branch_freq;
+        verify_solver.options().random_polarity = round_random_polarity;
+        verify_result = verifier->check(dqbf::HenkinVector{f}, deadline);
       } else {
-        verify_result = oneshot_solver->solve({}, deadline);
+        const cnf::CnfFormula refutation =
+            dqbf::build_refutation_cnf(formula, manager,
+                                       dqbf::HenkinVector{f});
+        sat::SolverOptions verify_options;
+        verify_options.seed = round_seed;
+        verify_options.random_branch_freq = round_branch_freq;
+        verify_options.random_polarity = round_random_polarity;
+        oneshot_solver.emplace(verify_options);
+        if (!oneshot_solver->add_formula(refutation)) {
+          verify_result = sat::Result::kUnsat;
+        } else {
+          verify_result = oneshot_solver->solve({}, deadline);
+        }
       }
     }
     stats.verify_seconds += phase_timer.seconds();
@@ -568,7 +625,11 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     for (const Var x : formula.universals()) {
       x_assumptions.push_back(unit_lit(x, delta.value(x)));
     }
-    const sat::Result extend_result = phi_solver.solve(x_assumptions, deadline);
+    sat::Result extend_result;
+    {
+      obs::Span span("extend", "phase", trace_id);
+      extend_result = phi_solver.solve(x_assumptions, deadline);
+    }
     if (extend_result == sat::Result::kUnknown) {
       return finish(SynthesisStatus::kTimeout);
     }
@@ -577,6 +638,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     }
     const cnf::Assignment pi = phi_solver.model();
     ++stats.counterexamples;
+    obs::trace_instant("counterexample", "event", trace_id);
     // π is a full model of φ — fresh training data (reuse).
     if (options_.sample_reuse) append_sample(pi);
 
@@ -592,34 +654,38 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     maxsat::MaxSatStatus ms_status;
     std::function<bool(std::size_t)> soft_satisfied;
     std::optional<maxsat::MaxSatSolver> oneshot_maxsat;  // oracle mode
-    if (options_.incremental) {
-      std::vector<Lit> hard_units;
-      hard_units.reserve(formula.universals().size());
-      for (const Var x : formula.universals()) {
-        hard_units.push_back(unit_lit(x, pi.value(x)));
+    {
+      obs::Span span("maxsat.round", "phase", trace_id);
+      if (options_.incremental) {
+        std::vector<Lit> hard_units;
+        hard_units.reserve(formula.universals().size());
+        for (const Var x : formula.universals()) {
+          hard_units.push_back(unit_lit(x, pi.value(x)));
+        }
+        std::vector<Lit> soft_units;
+        soft_units.reserve(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          soft_units.push_back(unit_lit(ex[i].var, sigma_yp[i]));
+        }
+        ms_status =
+            repair_maxsat.solve_round(hard_units, soft_units, &deadline);
+        soft_satisfied = [&](std::size_t i) {
+          return repair_maxsat.soft_satisfied(i);
+        };
+      } else {
+        oneshot_maxsat.emplace();
+        oneshot_maxsat->add_hard_formula(matrix);
+        for (const Var x : formula.universals()) {
+          oneshot_maxsat->add_hard({unit_lit(x, pi.value(x))});
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          oneshot_maxsat->add_soft({unit_lit(ex[i].var, sigma_yp[i])});
+        }
+        ms_status = oneshot_maxsat->solve(&deadline);
+        soft_satisfied = [&](std::size_t i) {
+          return oneshot_maxsat->soft_satisfied(i);
+        };
       }
-      std::vector<Lit> soft_units;
-      soft_units.reserve(m);
-      for (std::size_t i = 0; i < m; ++i) {
-        soft_units.push_back(unit_lit(ex[i].var, sigma_yp[i]));
-      }
-      ms_status = repair_maxsat.solve_round(hard_units, soft_units, &deadline);
-      soft_satisfied = [&](std::size_t i) {
-        return repair_maxsat.soft_satisfied(i);
-      };
-    } else {
-      oneshot_maxsat.emplace();
-      oneshot_maxsat->add_hard_formula(matrix);
-      for (const Var x : formula.universals()) {
-        oneshot_maxsat->add_hard({unit_lit(x, pi.value(x))});
-      }
-      for (std::size_t i = 0; i < m; ++i) {
-        oneshot_maxsat->add_soft({unit_lit(ex[i].var, sigma_yp[i])});
-      }
-      ms_status = oneshot_maxsat->solve(&deadline);
-      soft_satisfied = [&](std::size_t i) {
-        return oneshot_maxsat->soft_satisfied(i);
-      };
     }
     if (ms_status == maxsat::MaxSatStatus::kUnknown) {
       return finish(SynthesisStatus::kTimeout);
@@ -642,6 +708,8 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
 
     std::vector<bool> processed(m, false);
     std::size_t repairs_this_cex = 0;
+    std::optional<obs::Span> repair_span;
+    repair_span.emplace("repair", "phase", trace_id);
     while (!queue.empty()) {
       if (deadline.expired()) return finish(SynthesisStatus::kTimeout);
       if (stats.repair_checks >= options_.max_repair_iterations) {
@@ -720,6 +788,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
         }
       }
     }
+    repair_span.reset();
     stats.repair_seconds += phase_timer.seconds();
     if (repairs_this_cex == 0) {
       // No candidate could be repaired for this counterexample: the

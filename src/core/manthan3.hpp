@@ -99,6 +99,11 @@ struct Manthan3Options {
   /// outlive the run.
   AnalysisCache* analysis_cache = nullptr;
   std::uint64_t seed = 42;
+  /// Tag every obs trace span emitted by this run (args.trace_id in the
+  /// Chrome trace). The service sets it to the spec fingerprint so spans
+  /// of concurrent requests can be told apart; 0 = untagged. Telemetry
+  /// only — never feeds the derive_seed streams.
+  std::uint64_t trace_id = 0;
 };
 
 enum class SynthesisStatus {
@@ -173,6 +178,21 @@ struct SynthesisStats {
   std::size_t analysis_unique_hits = 0;
   /// Dependency ⊆/= relations answered from the cache (1 per warm run).
   std::size_t analysis_dependency_hits = 0;
+  // --- memory accounting (snapshots at run end; process-global values are
+  // non-deterministic and excluded from determinism comparisons) -----------
+  /// Process-wide peak resident set size in bytes.
+  std::uint64_t peak_rss_bytes = 0;
+  /// Heap bytes of the bit-packed training matrix at run end.
+  std::uint64_t sample_matrix_bytes = 0;
+  /// Clause-arena bytes of the persistent verify solver (incremental
+  /// pipeline; 0 for the oracle).
+  std::uint64_t verify_arena_bytes = 0;
+  /// Clause-arena bytes of the shared φ/MaxSAT solver.
+  std::uint64_t phi_arena_bytes = 0;
+  /// AND/input nodes in the shared AIG manager at run end.
+  std::uint64_t aig_nodes = 0;
+  /// Heap bytes of the AIG node table at run end.
+  std::uint64_t aig_bytes = 0;
 };
 
 struct SynthesisResult {

@@ -12,6 +12,8 @@
 #include "aig/aig_io.hpp"
 #include "dqbf/dqdimacs.hpp"
 #include "dqbf/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace manthan::engine {
@@ -49,20 +51,9 @@ std::string result_path_for(const fs::path& request) {
   return p.string();
 }
 
-/// Write `text` to `path` atomically: temp file + rename, so a drain
-/// interrupted mid-write leaves no half-result behind.
-bool write_file_atomic(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    out << text;
-    if (!out.flush()) return false;
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  return !ec;
-}
+// Result files are written with obs::write_file_atomic (temp file +
+// rename) so a drain interrupted mid-write leaves no half-result behind.
+using obs::write_file_atomic;
 
 std::string blif_certificate(const dqbf::DqbfFormula& formula,
                              const ServiceResponse& response) {
@@ -135,6 +126,7 @@ bool stop_requested(const Service& service, const DaemonOptions& options) {
 }  // namespace
 
 DrainReport drain_queue(Service& service, const DaemonOptions& options) {
+  obs::Span drain_span("daemon.drain", "service");
   DrainReport report;
 
   std::vector<fs::path> pending;

@@ -7,6 +7,7 @@
 
 #include "dqbf/certificate.hpp"
 #include "engine/scheduler.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -34,6 +35,10 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       futures.push_back(pool.submit([&, i]() {
+        // One span per contender; all lanes share the request's trace id,
+        // so a trace shows them racing side by side across threads.
+        obs::Span lane_span("race.lane", "service",
+                            options.manthan3.trace_id);
         util::Timer timer;
         EngineOptions engine_options;
         engine_options.time_limit_seconds = options.time_limit_seconds;
@@ -65,6 +70,8 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
         if (definitive && outcome.winner < 0) {
           outcome.winner = static_cast<int>(i);
           lane.winner = true;
+          obs::trace_instant("race.win", "service",
+                             options.manthan3.trace_id);
           cancel.cancel();  // stop the losing lanes at their next poll
         } else if (cancel.cancelled() &&
                    lane.status == core::SynthesisStatus::kTimeout) {

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "dqbf/certificate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -19,7 +21,50 @@ std::size_t default_workers(std::size_t configured) {
   return hw != 0 ? static_cast<std::size_t>(hw) : 1;
 }
 
+/// Registry instruments mirroring ServiceStats. The typed struct stays
+/// the API; these are the transport any /metrics-style consumer scrapes.
+struct ServiceMetrics {
+  obs::Counter& requests;
+  obs::Counter& tier1_hits;
+  obs::Counter& tier1_misses;
+  obs::Counter& coalesced;
+  obs::Counter& races;
+  obs::Counter& single_runs;
+  obs::Counter& completed;
+  obs::Counter& cancelled;
+  obs::Counter& evictions;
+  obs::Gauge& cache_entries;
+  obs::Histogram& solve_seconds;
+};
+
+ServiceMetrics& service_metrics() {
+  auto& r = obs::Registry::global();
+  // Leaked for the same static-destruction reason as the registry itself.
+  static ServiceMetrics* m = new ServiceMetrics{
+      r.counter("service_requests_total"),
+      r.counter("service_cache_hits_total"),
+      r.counter("service_cache_misses_total"),
+      r.counter("service_coalesced_total"),
+      r.counter("service_races_total"),
+      r.counter("service_single_runs_total"),
+      r.counter("service_completed_total"),
+      r.counter("service_cancelled_total"),
+      r.counter("service_cache_evictions_total"),
+      r.gauge("service_result_cache_entries"),
+      r.histogram("service_solve_seconds"),
+  };
+  return *m;
+}
+
+/// Trace id for a request: the canonical spec fingerprint folded to one
+/// word. Telemetry only — never fed into seed derivation.
+std::uint64_t trace_id_of(const dqbf::Fingerprint& fp) {
+  return fp.hi ^ fp.lo;
+}
+
 }  // namespace
+
+void register_service_metrics() { service_metrics(); }
 
 dqbf::HenkinVector ResultCone::import_into(aig::Aig& dst) const {
   dqbf::HenkinVector vector;
@@ -66,6 +111,10 @@ std::shared_future<ServiceResponse> Service::submit(
   job->options = options;
   job->coalescable = options_.coalesce && options.use_cache &&
                      options.cancel == nullptr;
+  const std::uint64_t trace_id = trace_id_of(job->canon.spec);
+  obs::Span submit_span("service.submit", "service", trace_id);
+  ServiceMetrics& metrics = service_metrics();
+  metrics.requests.inc();
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -75,6 +124,8 @@ std::shared_future<ServiceResponse> Service::submit(
       const auto it = cache_.find(job->key);
       if (it != cache_.end()) {
         ++stats_.tier1_hits;
+        metrics.tier1_hits.inc();
+        obs::trace_instant("cache.hit", "service", trace_id);
         lru_.splice(lru_.begin(), lru_, it->second);
         ServiceResponse response = it->second->response;
         response.cache_hit = true;
@@ -83,12 +134,15 @@ std::shared_future<ServiceResponse> Service::submit(
         return ready.get_future().share();
       }
       ++stats_.tier1_misses;
+      metrics.tier1_misses.inc();
     }
 
     if (job->coalescable) {
       const auto it = inflight_.find(job->key);
       if (it != inflight_.end()) {
         ++stats_.coalesced;
+        metrics.coalesced.inc();
+        obs::trace_instant("coalesce", "service", trace_id);
         // Flag the in-flight job so its response records the sharing.
         // (The owning Job is reachable only through the future, so the
         // flag lives on the response instead: set when the job ends.)
@@ -113,6 +167,9 @@ std::shared_future<ServiceResponse> Service::submit(
 }
 
 ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
+  const std::uint64_t trace_id = trace_id_of(job->canon.spec);
+  obs::Span job_span("service.job", "service", trace_id);
+  ServiceMetrics& metrics = service_metrics();
   bool race_mode = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -133,8 +190,10 @@ ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
     }
     if (race_mode) {
       ++stats_.races;
+      metrics.races.inc();
     } else {
       ++stats_.single_runs;
+      metrics.single_runs.inc();
     }
   }
 
@@ -145,6 +204,7 @@ ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
                            : job->options.time_limit_seconds;
   core::Manthan3Options manthan3 = options_.manthan3;
   if (options_.analysis_cache) manthan3.analysis_cache = &analysis_cache_;
+  manthan3.trace_id = trace_id;
   // Seed from the canonical identity, not submission order: duplicate
   // specs replay identical streams, which is what makes a tier-1 hit
   // indistinguishable from re-solving.
@@ -201,6 +261,7 @@ ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
   }
 
   response.solve_seconds = timer.seconds();
+  metrics.solve_seconds.observe(response.solve_seconds);
   const bool definitive =
       response.solved() ||
       response.status == core::SynthesisStatus::kUnrealizable;
@@ -209,7 +270,11 @@ ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.completed;
-    if (response.cancelled) ++stats_.cancelled;
+    metrics.completed.inc();
+    if (response.cancelled) {
+      ++stats_.cancelled;
+      metrics.cancelled.inc();
+    }
     if (job->coalescable) {
       inflight_.erase(job->key);
       const auto shared = coalesced_keys_.find(job->key);
@@ -222,7 +287,9 @@ ServiceResponse Service::run_job(const std::shared_ptr<Job>& job) {
     // unrealizability, never anything a token truncated.
     if (job->options.use_cache && options_.result_cache && definitive &&
         !response.cancelled) {
+      obs::trace_instant("cache.store", "service", trace_id);
       cache_store(job->key, response);
+      metrics.cache_entries.set(static_cast<double>(cache_.size()));
     }
   }
   return response;
@@ -249,6 +316,7 @@ void Service::cache_store(const CacheKey& key, const ServiceResponse& response) 
     cache_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.cache_evictions;
+    service_metrics().evictions.inc();
   }
 }
 

@@ -203,6 +203,12 @@ struct ServiceStats {
   core::AnalysisCache::Stats analysis;
 };
 
+/// Register the service_* series in the global obs registry (at zero if no
+/// request ran yet). Any Service activity registers them implicitly; call
+/// this from binaries that export metrics snapshots without necessarily
+/// constructing a Service, so scrapers see a stable series set.
+void register_service_metrics();
+
 class Service {
  public:
   explicit Service(ServiceOptions options = {});

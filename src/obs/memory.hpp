@@ -1,0 +1,29 @@
+// Process memory accounting: peak and current RSS, plus registration of
+// the process-level callback gauges every metrics export includes.
+//
+// Subsystem byte gauges (clause arenas, sample matrices, AIG nodes) are
+// owned by their subsystems and published as registry gauges; this
+// header covers the one thing only the OS knows — the process's resident
+// set — so benches and the Prometheus export can track memory alongside
+// time.
+#pragma once
+
+#include <cstddef>
+
+namespace manthan::obs {
+
+class Registry;
+
+/// High-water-mark resident set size in bytes (getrusage ru_maxrss).
+/// Monotonic over the process lifetime; 0 if unavailable.
+std::size_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm); 0 on platforms
+/// without procfs.
+std::size_t current_rss_bytes();
+
+/// Register `process_peak_rss_bytes` / `process_rss_bytes` as callback
+/// gauges on `registry` (done automatically for Registry::global()).
+void register_process_metrics(Registry& registry);
+
+}  // namespace manthan::obs

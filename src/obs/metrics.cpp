@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/memory.hpp"
+
+namespace manthan::obs {
+
+namespace {
+
+/// Format a double the way both exports want it: integral values without
+/// a fraction, everything else with enough digits to round-trip.
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  std::size_t idx;
+  if (!(v > 0.0) || std::isnan(v)) {
+    idx = 0;
+  } else {
+    int exp = 0;
+    std::frexp(v, &exp);  // v in [2^(exp-1), 2^exp)
+    if (exp <= kMinExp) {
+      idx = 0;
+    } else if (exp > kMaxExp) {
+      idx = kNumBuckets - 1;
+    } else {
+      idx = static_cast<std::size_t>(exp - kMinExp);
+    }
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (
+      !sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bucket_bound(std::size_t i) {
+  if (i + 1 >= kNumBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, kMinExp + static_cast<int>(i));
+}
+
+Registry& Registry::global() {
+  static Registry* registry = [] {
+    auto* r = new Registry();  // leaked: outlives every static destructor
+    register_process_metrics(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kCounter) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered as a different kind");
+    }
+    return counters_[it->second.index];
+  }
+  counters_.emplace_back();
+  entries_.emplace(name, Entry{Kind::kCounter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kGauge) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered as a different kind");
+    }
+    return gauges_[it->second.index];
+  }
+  gauges_.emplace_back();
+  entries_.emplace(name, Entry{Kind::kGauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kHistogram) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered as a different kind");
+    }
+    return histograms_[it->second.index];
+  }
+  histograms_.emplace_back();
+  entries_.emplace(name, Entry{Kind::kHistogram, histograms_.size() - 1});
+  return histograms_.back();
+}
+
+void Registry::register_callback_gauge(const std::string& name,
+                                       std::function<double()> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kCallback) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered as a different kind");
+    }
+    callbacks_[it->second.index] = std::move(fn);
+    return;
+  }
+  callbacks_.push_back(std::move(fn));
+  entries_.emplace(name, Entry{Kind::kCallback, callbacks_.size() - 1});
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(name, counters_[entry.index].value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace_back(name, gauges_[entry.index].value());
+        break;
+      case Kind::kCallback:
+        snap.gauges.emplace_back(name, callbacks_[entry.index]());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[entry.index];
+        MetricsSnapshot::HistogramValue hv;
+        hv.name = name;
+        // Count/sum/buckets are read individually relaxed: a snapshot
+        // racing an observe() may be off by the in-flight observation,
+        // which is fine for an advisory export.
+        hv.count = h.count();
+        hv.sum = h.sum();
+        for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          hv.buckets[i] = h.bucket(i);
+        }
+        snap.histograms.push_back(std::move(hv));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::string Registry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"' << snap.counters[i].first
+        << "\": " << snap.counters[i].second;
+  }
+  out << (snap.counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"' << snap.gauges[i].first
+        << "\": " << format_double(snap.gauges[i].second);
+  }
+  out << (snap.gauges.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out << (i ? ",\n    " : "\n    ") << '"' << h.name
+        << "\": {\"count\": " << h.count << ", \"sum\": " << format_double(h.sum)
+        << ", \"buckets\": [";
+    // Sparse export: [le, count] pairs for non-empty buckets only.
+    bool first = true;
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      const double bound = Histogram::bucket_bound(b);
+      out << (first ? "[" : ", [")
+          << (std::isinf(bound) ? std::string("\"+inf\"")
+                                : format_double(bound))
+          << ", " << h.buckets[b] << ']';
+      first = false;
+    }
+    out << "]}";
+  }
+  out << (snap.histograms.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+std::string Registry::to_prometheus() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "# TYPE " << name << " counter\n" << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "# TYPE " << name << " gauge\n"
+        << name << ' ' << format_double(value) << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    out << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      cumulative += h.buckets[b];
+      // Keep the exposition compact: only emit buckets that change the
+      // cumulative count, plus the mandatory +Inf bucket.
+      if (h.buckets[b] == 0 && b + 1 < Histogram::kNumBuckets) continue;
+      const double bound = Histogram::bucket_bound(b);
+      out << h.name << "_bucket{le=\""
+          << (std::isinf(bound) ? std::string("+Inf") : format_double(bound))
+          << "\"} " << cumulative << '\n';
+    }
+    out << h.name << "_sum " << format_double(h.sum) << '\n';
+    out << h.name << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    if (!out.flush()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace manthan::obs

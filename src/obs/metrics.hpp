@@ -1,0 +1,183 @@
+// Unified metrics registry — the one place every subsystem publishes its
+// operational counters to, and the one place an operator reads them from.
+//
+// The pipeline's performance story used to live in ten scattered ad-hoc
+// `*Stats` structs (SolverStats, SynthesisStats, ServiceStats, …) with no
+// common export. Those structs remain the *typed views* — cheap,
+// per-run, returned by value — while this registry is the *aggregated
+// export*: named instruments that accumulate across runs, threads, and
+// requests, snapshotted to JSON or Prometheus text format so `manthan3d`
+// (and any embedding process) can serve a /metrics-style endpoint. Until
+// the socket front end lands, transport is file-based: callers write
+// `Registry::global().to_prometheus()` through write_file_atomic() on
+// whatever cadence they like (manthan3d rewrites per drain cycle).
+//
+// Instruments:
+//   * Counter   — monotonic uint64, lock-free relaxed adds.
+//   * Gauge     — double, set/add/update_max via CAS; update_max is what
+//                 peak-byte tracking uses (sample matrix, clause arenas).
+//   * Histogram — log2-bucketed distribution of doubles (latencies in
+//                 seconds, sizes in bytes): 42 power-of-two buckets from
+//                 2^-20 (~1 µs / 1 B) to 2^20 (~12 days / 1 MiB) plus
+//                 overflow, exported in native Prometheus histogram form.
+//
+// Naming scheme (documented in README §Observability):
+//   <module>_<what>[_<unit>][_total]     e.g. service_requests_total,
+//   manthan3_verify_seconds_total, sat_arena_peak_bytes,
+//   process_peak_rss_bytes. Counters end in _total; peak gauges carry
+//   _peak_; histograms are bare (<module>_<what>_seconds).
+//
+// Concurrency contract: instrument lookups (counter()/gauge()/…) take a
+// registration mutex and return a reference that stays valid for the
+// registry's lifetime — call sites cache it in a static. Updates through
+// the returned reference are lock-free atomics; snapshot()/to_json()/
+// to_prometheus() may run concurrently with any number of writers
+// (readers see each instrument's latest relaxed value). The TSan suite
+// in tests/test_obs.cpp hammers exactly this pattern.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace manthan::obs {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Double-valued level (byte sizes, cumulative seconds). Lock-free via
+/// compare-exchange (std::atomic<double>::fetch_add is C++20).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Raise the gauge to `v` if it is below — peak tracking.
+  void update_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale (power-of-two bucket) histogram of non-negative doubles.
+class Histogram {
+ public:
+  /// Bucket i holds values in (2^(kMinExp+i-1), 2^(kMinExp+i)]; bucket 0
+  /// additionally absorbs everything at or below 2^kMinExp, and the last
+  /// bucket everything above 2^kMaxExp.
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 20;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) + 2;
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (+inf for the overflow bucket).
+  static double bucket_bound(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;  // includes callbacks
+  std::vector<HistogramValue> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every subsystem publishes into. Process
+  /// gauges (RSS) are pre-registered on first use.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name. The returned reference is valid for the
+  /// registry's lifetime; cache it at the call site. Throws
+  /// std::logic_error if `name` is already registered as another kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Gauge evaluated lazily at snapshot/export time (process RSS and
+  /// friends — values that are queries, not accumulations). Re-registering
+  /// the same name replaces the callback.
+  void register_callback_gauge(const std::string& name,
+                               std::function<double()> fn);
+
+  /// Sorted-by-name copy of everything; safe against concurrent writers.
+  MetricsSnapshot snapshot() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Prometheus text exposition format (# TYPE lines + samples).
+  std::string to_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+  struct Entry {
+    Kind kind;
+    std::size_t index;  // into the matching storage deque
+  };
+
+  // Instruments live in deques so the references handed out stay stable
+  // across registrations; the sorted map drives deterministic export
+  // order. The mutex guards registration and iteration only — instrument
+  // updates are lock-free through the returned references.
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::deque<std::function<double()>> callbacks_;
+};
+
+/// Write `text` to `path` via temp-file + rename so readers (and crashes)
+/// never observe a half-written file. The standard transport for metrics
+/// / trace / stats files until a socket front end exists.
+bool write_file_atomic(const std::string& path, const std::string& text);
+
+}  // namespace manthan::obs

@@ -1,0 +1,218 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace manthan::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread buffer cap: ~48 MB of events at sizeof(TraceEvent)==48.
+/// Phase-level spans run at a few thousand per second, so this covers
+/// hours of tracing before truncation.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t trace_id;
+  char phase;  // 'X' complete, 'i' instant
+};
+
+/// One thread's event buffer. The owning thread is the only writer; the
+/// mutex serializes it against collector-side reads (write_trace_json,
+/// clear) — uncontended in the steady state.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+class Collector {
+ public:
+  static Collector& instance() {
+    // Leaked: worker threads may still record (harmlessly, into buffers
+    // nobody will read) while static destructors run.
+    static Collector* collector = new Collector();
+    return *collector;
+  }
+
+  std::shared_ptr<ThreadBuffer> register_thread() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_shared<ThreadBuffer>();
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+    return buffer;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->events.clear();
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t event_count() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      total += buffer->events.size();
+    }
+    return total;
+  }
+
+  /// Copy of every buffered event tagged with its thread id, sorted by
+  /// timestamp (Chrome does not require the order, humans reading the
+  /// JSON do).
+  std::vector<std::pair<TraceEvent, std::uint32_t>> collect() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<TraceEvent, std::uint32_t>> all;
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      all.reserve(all.size() + buffer->events.size());
+      for (const TraceEvent& e : buffer->events) {
+        all.emplace_back(e, buffer->tid);
+      }
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      return a.first.ts_ns < b.first.ts_ns;
+    });
+    return all;
+  }
+
+  void note_dropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 0;
+  std::atomic<std::size_t> dropped_{0};
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer =
+      Collector::instance().register_thread();
+  return *buffer;
+}
+
+void record_event(const TraceEvent& event) {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    Collector::instance().note_dropped();
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+}  // namespace
+
+void start_tracing() {
+  Collector::instance().clear();
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void clear_trace() { Collector::instance().clear(); }
+
+std::size_t trace_event_count() { return Collector::instance().event_count(); }
+
+std::size_t trace_dropped_events() { return Collector::instance().dropped(); }
+
+void Span::begin(const char* name, const char* category,
+                 std::uint64_t trace_id) {
+  active_ = true;
+  name_ = name;
+  category_ = category;
+  trace_id_ = trace_id;
+  start_ns_ = util::monotonic_ns();
+}
+
+void Span::end() {
+  // A span that outlives stop_tracing() still records: it was sampled
+  // while tracing was on, and a half-open interval would be worse than a
+  // slightly-late close.
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_ns = start_ns_;
+  event.dur_ns = util::monotonic_ns() - start_ns_;
+  event.trace_id = trace_id_;
+  event.phase = 'X';
+  record_event(event);
+}
+
+void trace_instant(const char* name, const char* category,
+                   std::uint64_t trace_id) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_ns = util::monotonic_ns();
+  event.dur_ns = 0;
+  event.trace_id = trace_id;
+  event.phase = 'i';
+  record_event(event);
+}
+
+void write_trace_json(std::ostream& os) {
+  const auto events = Collector::instance().collect();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[64];
+  for (const auto& [event, tid] : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\": \"" << event.name << "\", \"cat\": \""
+       << event.category << "\", \"ph\": \"" << event.phase
+       << "\", \"pid\": 1, \"tid\": " << tid;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(event.ts_ns) / 1000.0);
+    os << ", \"ts\": " << buf;
+    if (event.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(event.dur_ns) / 1000.0);
+      os << ", \"dur\": " << buf;
+    } else {
+      os << ", \"s\": \"t\"";  // instant scope: thread
+    }
+    if (event.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64, event.trace_id);
+      os << ", \"args\": {\"trace_id\": \"" << buf << "\"}";
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool write_trace_json_atomic(const std::string& path) {
+  std::ostringstream out;
+  write_trace_json(out);
+  return write_file_atomic(path, out.str());
+}
+
+}  // namespace manthan::obs

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 
 namespace manthan::sampler {
@@ -82,7 +83,10 @@ cnf::SampleMatrix Sampler::sample_packed(const CnfFormula& formula,
       options_.adaptive ? std::min(options_.probe_samples,
                                    options_.num_samples)
                         : options_.num_samples;
-  draw(solver, probe_count);
+  {
+    obs::Span span("sample.probe");
+    draw(solver, probe_count);
+  }
   stats_.probe_samples = matrix.num_samples();
   if (matrix.empty()) return matrix;
   // An expired deadline must short-circuit here: the old code broke out
@@ -109,6 +113,7 @@ cnf::SampleMatrix Sampler::sample_packed(const CnfFormula& formula,
 
   // Main round with the learned biases.
   stats_.main_round = true;
+  obs::Span main_span("sample.main");
   const std::uint64_t main_seed = options_.seed ^ 0x5deece66dULL;
   if (options_.enumerate) {
     // Same session keeps its learnt clauses; only the polarity bias and

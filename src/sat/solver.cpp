@@ -6,6 +6,9 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+
 namespace manthan::sat {
 
 // ---------------------------------------------------------------------------
@@ -1852,7 +1855,32 @@ const SolverStats& Solver::stats() const {
   stats_.max_learnts = max_learnts_;
   stats_.vars_allocated = static_cast<std::uint64_t>(num_vars());
   stats_.remapped_vars = remap_.remapped_vars();
+  stats_.peak_rss_bytes = obs::peak_rss_bytes();
   return stats_;
+}
+
+Solver::~Solver() {
+  // Fold this solver's lifetime counters into the process-wide registry.
+  // Aggregating at destruction (rather than per-solve) keeps the hot path
+  // free of registry lookups; the instrument references are cached after
+  // the first solver dies.
+  auto& registry = obs::Registry::global();
+  static obs::Counter& decisions = registry.counter("sat_decisions_total");
+  static obs::Counter& propagations =
+      registry.counter("sat_propagations_total");
+  static obs::Counter& conflicts = registry.counter("sat_conflicts_total");
+  static obs::Counter& restarts = registry.counter("sat_restarts_total");
+  static obs::Counter& models = registry.counter("sat_enumerated_models_total");
+  static obs::Counter& solvers = registry.counter("sat_solvers_total");
+  static obs::Gauge& arena_peak = registry.gauge("sat_arena_peak_bytes");
+  decisions.add(stats_.decisions);
+  propagations.add(stats_.propagations);
+  conflicts.add(stats_.conflicts);
+  restarts.add(stats_.restarts);
+  models.add(stats_.enumerated_models);
+  solvers.inc();
+  arena_peak.update_max(
+      static_cast<double>(arena_.size() * sizeof(std::uint32_t)));
 }
 
 }  // namespace manthan::sat

@@ -186,6 +186,11 @@ struct SolverStats {
   std::uint64_t vivified_literals = 0;
   /// Internal variable slots reclaimed by compact() (snapshot).
   std::uint64_t remapped_vars = 0;
+  // --- process memory (snapshot refreshed by stats()) --------------------
+  /// Process-wide peak resident set size in bytes at the time of the
+  /// stats() call. Process-global, not per-solver: useful for reporting,
+  /// excluded from determinism comparisons.
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Model sink for enumerate(): invoked at every satisfying total
@@ -196,6 +201,9 @@ using ModelSink = std::function<bool(const Assignment&)>;
 class Solver {
  public:
   explicit Solver(SolverOptions options = {});
+  /// Publishes this solver's lifetime search counters into the global
+  /// metrics registry (sat_* series) before the object goes away.
+  ~Solver();
 
   // The decision-order heap holds a reference into this object; copying or
   // moving would dangle it.

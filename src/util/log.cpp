@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/timer.hpp"
+
 namespace manthan::util {
 
 namespace {
@@ -17,6 +19,15 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex& sink_mutex() {
   static std::mutex m;
   return m;
+}
+
+// Small stable per-thread ordinal for the line prefix (thread::id is
+// opaque and unhelpfully wide). Assigned in first-log order.
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
 }
 
 const char* level_name(LogLevel level) {
@@ -38,8 +49,13 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  // Stamp before taking the sink lock so queued writers carry the time
+  // they logically logged at, not the time the lock freed up.
+  const double seconds = static_cast<double>(monotonic_ns()) / 1e9;
+  const std::uint32_t tid = thread_ordinal();
   const std::lock_guard<std::mutex> lock(sink_mutex());
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[%12.6f] [T%02u] [%s] %s\n", seconds, tid,
+               level_name(level), message.c_str());
 }
 
 }  // namespace manthan::util

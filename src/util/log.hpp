@@ -1,6 +1,15 @@
 // Minimal leveled logging. Engines log progress at Debug level; the
 // portfolio harness raises the level to keep benchmark output clean.
 //
+// Every line is prefixed with a monotonic timestamp (seconds since the
+// process epoch shared with util::monotonic_ns — the same clock obs
+// trace spans stamp with) and a small per-thread ordinal:
+//
+//   [  12.345678] [T03] [DEBUG] verify round 17
+//
+// so Debug logs correlate directly with trace-span timestamps and with
+// each other across scheduler workers.
+//
 // Thread safety: log()/log_line() may be called concurrently from
 // scheduler workers — sink writes are serialized by a mutex, so lines
 // never interleave mid-message. set_log_level()/log_level() are atomic.

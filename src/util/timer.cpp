@@ -6,6 +6,17 @@
 
 namespace manthan::util {
 
+std::uint64_t monotonic_ns() {
+  // The epoch is whatever instant the first caller hits this function;
+  // only differences between stamps are meaningful.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
 Timer::Timer() : start_(std::chrono::steady_clock::now()) {}
 
 void Timer::reset() { start_ = std::chrono::steady_clock::now(); }

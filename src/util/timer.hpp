@@ -4,9 +4,17 @@
 
 #include <chrono>
 
+#include <cstdint>
+
 namespace manthan::util {
 
 class CancelToken;
+
+/// Nanoseconds on the steady clock since a process-wide epoch fixed at
+/// first use. The log prefix and the obs trace spans both stamp with
+/// this, so a Debug log line at t=12.345s and a trace span at
+/// ts=12345000µs describe the same instant.
+std::uint64_t monotonic_ns();
 
 /// Monotonic stopwatch.
 class Timer {

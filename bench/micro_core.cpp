@@ -94,6 +94,7 @@ void run_pipeline(benchmark::State& state,
   state.counters["sample_matrix_bytes"] =
       static_cast<double>(last.stats.sample_matrix_bytes);
   manthan::bench::report_memory_counters(state);
+  manthan::bench::report_simd_tier(state);
 }
 
 void BM_PipelineIncrementalPlanted(benchmark::State& state) {

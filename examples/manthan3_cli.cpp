@@ -33,6 +33,7 @@
 #include "obs/trace.hpp"
 #include "portfolio/runner.hpp"
 #include "preprocess/hqspre_lite.hpp"
+#include "util/simd.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -253,9 +254,14 @@ int main(int argc, char** argv) {
               << " vars / " << result.stats.phi_clauses_retired
               << " clauses retired\n"
               << "reuse: " << result.stats.samples_appended
-              << " counterexample samples appended, "
-              << result.stats.refit_rounds << " refit rounds / "
+              << " counterexample samples appended ("
+              << result.stats.gk_streamed_samples << " streamed from G_k), "
+              << result.stats.refit_rounds << " refit rounds ("
+              << result.stats.adaptive_refits << " adaptive) / "
               << result.stats.refit_candidates << " candidates refit\n";
+    std::cout << "simd: " << manthan::util::simd::tier_name(
+                     manthan::util::simd::active_tier())
+              << " data path\n";
     std::cout << "memory: peak RSS "
               << result.stats.peak_rss_bytes / (1024 * 1024) << " MiB, "
               << "sample matrix " << result.stats.sample_matrix_bytes / 1024

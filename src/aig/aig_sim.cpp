@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/simd.hpp"
+
 namespace manthan::aig {
 
 std::uint64_t simulate64(
@@ -27,55 +29,87 @@ std::uint64_t simulate64(
   return value[ref_node(root)] ^ (ref_complemented(root) ? ~0ULL : 0);
 }
 
+namespace {
+
+/// Words per simulation block: each gate evaluates kBlock words (1024
+/// samples) at a time through the lane-wide combine kernel, so the vector
+/// unit runs full blocks instead of one word per gate visit, while the
+/// per-gate scratch slot (128 bytes) stays cache-resident across blocks.
+constexpr std::size_t kSimBlockWords = 16;
+
+/// All-zero block read by constants and out-of-matrix inputs.
+alignas(64) constexpr std::uint64_t kZeroBlock[kSimBlockWords] = {};
+
+}  // namespace
+
 std::vector<std::uint64_t> simulate_matrix(const Aig& aig, Ref root,
                                            const cnf::SampleMatrix& matrix) {
+  std::vector<std::uint64_t> out(matrix.num_words());
+  if (out.empty()) return out;
   const std::vector<std::uint32_t> order = cone_topo_order(aig, root);
-  // Flatten the cone into slot-indexed ops once; the word loop then runs
-  // without hash lookups.
+  // Flatten the cone once: leaves resolve to matrix columns (or the zero
+  // block), gates to scratch slots. The block loop then evaluates gates
+  // only, lane-wide, without hash lookups.
   std::unordered_map<std::uint32_t, std::uint32_t> slot;
   slot.reserve(order.size());
-  struct Op {
-    const std::uint64_t* column = nullptr;  // non-null: leaf (input column)
-    std::uint32_t slot0 = 0;                // otherwise: and gate
+  struct Source {
+    const std::uint64_t* column = nullptr;  // non-null: leaf
+    std::uint32_t gate = 0;                 // otherwise: scratch slot index
+  };
+  struct Gate {
+    std::uint32_t slot0 = 0;  // Source indices of the two fanins
     std::uint32_t slot1 = 0;
     std::uint64_t inv0 = 0;
     std::uint64_t inv1 = 0;
   };
-  // Constants and out-of-matrix inputs read an all-zero column.
-  static constexpr std::uint64_t kZero = 0;
-  std::vector<Op> ops(order.size());
+  std::vector<Source> sources(order.size());
+  std::vector<Gate> gates;
+  gates.reserve(order.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     const std::uint32_t n = order[i];
     slot.emplace(n, static_cast<std::uint32_t>(i));
     const Aig::Node& node = aig.node(n);
-    Op& op = ops[i];
     if (n == 0 || node.input_id >= 0) {
-      op.column =
+      sources[i].column =
           (n != 0 &&
            node.input_id < static_cast<std::int32_t>(matrix.num_vars()))
               ? matrix.column(static_cast<cnf::Var>(node.input_id))
-              : &kZero;
+              : kZeroBlock;
     } else {
-      op.slot0 = slot.at(ref_node(node.fanin0));
-      op.slot1 = slot.at(ref_node(node.fanin1));
-      op.inv0 = ref_complemented(node.fanin0) ? ~0ULL : 0;
-      op.inv1 = ref_complemented(node.fanin1) ? ~0ULL : 0;
+      sources[i].gate = static_cast<std::uint32_t>(gates.size());
+      gates.push_back({slot.at(ref_node(node.fanin0)),
+                       slot.at(ref_node(node.fanin1)),
+                       ref_complemented(node.fanin0) ? ~0ULL : 0,
+                       ref_complemented(node.fanin1) ? ~0ULL : 0});
     }
   }
   const std::uint64_t root_inv = ref_complemented(root) ? ~0ULL : 0;
   const std::uint32_t root_slot = slot.at(ref_node(root));
-  std::vector<std::uint64_t> values(order.size());
-  std::vector<std::uint64_t> out(matrix.num_words());
-  for (std::size_t w = 0; w < matrix.num_words(); ++w) {
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const Op& op = ops[i];
-      values[i] = op.column != nullptr
-                      ? (op.column == &kZero ? 0 : op.column[w])
-                      : (values[op.slot0] ^ op.inv0) &
-                            (values[op.slot1] ^ op.inv1);
+
+  const util::simd::Kernels& kernels = util::simd::kernels();
+  util::simd::AlignedVector<std::uint64_t> scratch(gates.size() *
+                                                   kSimBlockWords);
+  const std::size_t words = matrix.num_words();
+  for (std::size_t w = 0; w < words; w += kSimBlockWords) {
+    const std::size_t n = std::min(kSimBlockWords, words - w);
+    // Value of Source s for this block: leaves advance with the block
+    // (except the zero block), gates read their scratch slot.
+    const auto src = [&](std::uint32_t s) -> const std::uint64_t* {
+      const Source& source = sources[s];
+      if (source.column != nullptr) {
+        return source.column == kZeroBlock ? kZeroBlock : source.column + w;
+      }
+      return scratch.data() + source.gate * kSimBlockWords;
+    };
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      const Gate& gate = gates[g];
+      kernels.combine(scratch.data() + g * kSimBlockWords, src(gate.slot0),
+                      gate.inv0, src(gate.slot1), gate.inv1, 0, n);
     }
-    out[w] = values[root_slot] ^ root_inv;
+    kernels.xor_const(out.data() + w, src(root_slot), root_inv, n);
   }
+  // Mask the tail: callers popcount the result directly.
+  out[words - 1] &= matrix.tail_mask();
   return out;
 }
 

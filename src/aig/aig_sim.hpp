@@ -22,11 +22,13 @@ std::uint64_t simulate64(
 
 /// Batch-evaluate `root` over every sample of a bit-packed training
 /// matrix: input ids are read as matrix variables (ids outside the matrix
-/// evaluate to false), 64 samples per word. Returns one output word per
-/// matrix word; bits at positions >= num_samples() in the last word are
-/// unspecified (mask with matrix.tail_mask()). This is how the synthesis
-/// loop screens repair/refit candidates against the whole training set —
-/// words instead of one evaluate() walk per assignment.
+/// evaluate to false), 64 samples per word through the runtime-dispatched
+/// util::simd kernels. Returns one output word per matrix word; bits at
+/// positions >= num_samples() in the last word are ZERO (the result is
+/// masked with matrix.tail_mask() before returning), so popcounts over the
+/// result need no re-masking. This is how the synthesis loop screens
+/// repair/refit candidates against the whole training set — words instead
+/// of one evaluate() walk per assignment.
 std::vector<std::uint64_t> simulate_matrix(const Aig& aig, Ref root,
                                            const cnf::SampleMatrix& matrix);
 

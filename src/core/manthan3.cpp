@@ -23,6 +23,7 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/scheduler.hpp"
+#include "util/simd.hpp"
 
 namespace manthan::core {
 
@@ -55,17 +56,21 @@ std::size_t packed_mismatches_since(const std::vector<std::uint64_t>& sim,
                                     const std::uint64_t* label,
                                     const cnf::SampleMatrix& samples,
                                     std::size_t from_row) {
-  std::size_t count = 0;
+  // No tail masking needed: simulate_matrix returns its last word already
+  // masked, and label column tail bits are zero by construction — so the
+  // tail of (sim ^ label) is zero. Only the from_row head word is partial.
   const std::size_t words = samples.num_words();
-  for (std::size_t w = from_row >> 6; w < words; ++w) {
-    std::uint64_t diff = sim[w] ^ label[w];
-    if (w == (from_row >> 6) && (from_row & 63) != 0) {
-      diff &= ~((1ULL << (from_row & 63)) - 1);
-    }
-    if (w + 1 == words) diff &= samples.tail_mask();
-    count += static_cast<std::size_t>(__builtin_popcountll(diff));
+  std::size_t w = from_row >> 6;
+  if (w >= words) return 0;
+  const util::simd::Kernels& kernels = util::simd::kernels();
+  std::size_t count = 0;
+  if ((from_row & 63) != 0) {
+    const std::uint64_t diff =
+        (sim[w] ^ label[w]) & ~((1ULL << (from_row & 63)) - 1);
+    count += kernels.popcount(&diff, 1);
+    ++w;
   }
-  return count;
+  return count + kernels.popcount_xor(sim.data() + w, label + w, words - w);
 }
 
 }  // namespace
@@ -150,6 +155,10 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     static obs::Counter& maxsat_calls =
         registry.counter("core_maxsat_calls_total");
     static obs::Counter& refits = registry.counter("core_refit_rounds_total");
+    static obs::Counter& streamed =
+        registry.counter("core_streamed_samples_total");
+    static obs::Counter& adaptive =
+        registry.counter("core_adaptive_refits_total");
     static obs::Counter& samples_total =
         registry.counter("core_samples_total");
     static obs::Histogram& run_seconds =
@@ -162,6 +171,8 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     repairs.add(stats.repairs);
     maxsat_calls.add(stats.maxsat_calls);
     refits.add(stats.refit_rounds);
+    streamed.add(stats.gk_streamed_samples);
+    adaptive.add(stats.adaptive_refits);
     samples_total.add(stats.samples + stats.samples_appended);
     run_seconds.observe(stats.total_seconds);
     matrix_peak.update_max(static_cast<double>(stats.sample_matrix_bytes));
@@ -211,13 +222,15 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
   const auto append_sample = [&](const cnf::Assignment& a) {
     // Truncate to matrix variables: solver models carry selector and
     // Tseitin variables above the matrix block.
-    if (sample_fps
-            .insert(cnf::fingerprint(
-                a, static_cast<std::size_t>(samples.num_vars())))
-            .second) {
-      samples.append(a);
-      ++stats.samples_appended;
+    if (!sample_fps
+             .insert(cnf::fingerprint(
+                 a, static_cast<std::size_t>(samples.num_vars())))
+             .second) {
+      return false;
     }
+    samples.append(a);
+    ++stats.samples_appended;
+    return true;
   };
 
   // ---- Tier-2 analysis cache lookups ------------------------------------
@@ -469,48 +482,82 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     repair_maxsat.maintain();
   };
 
-  // Cross-round sample reuse, refit side: when the matrix has grown
-  // enough (or a round repaired nothing), batch-evaluate every live
-  // candidate over the packed matrix with the 64-way AIG simulator and
-  // refit exactly those that now disagree with the data. The refreshed
-  // candidates re-enter verification unchanged in soundness terms — only
-  // a verify-UNSAT certifies the vector.
+  // Cross-round sample reuse, refit side: batch-evaluate live candidates
+  // over the packed matrix with the 64-way AIG simulator and refit exactly
+  // those that now disagree with the data. Two trigger policies:
+  //   * adaptive (default): each candidate tracks the row count of its own
+  //     last fit; once adaptive_refit_min_fresh rows arrived since then,
+  //     its error rate over those fresh rows is measured every round (the
+  //     batch simulation is cheap), and clearing adaptive_refit_error_rate
+  //     triggers a refit of exactly the drifted candidates;
+  //   * legacy (adaptive_refit = false): wait until the whole matrix grew
+  //     ~50% since the last global screen, then refit any candidate that
+  //     disagrees with a fresh row.
+  // The refreshed candidates re-enter verification unchanged in soundness
+  // terms — only a verify-UNSAT certifies the vector.
   std::size_t last_fit_samples = samples.num_samples();
+  // Per-candidate watermark: matrix row count at the candidate's last
+  // (re)fit or last clean screen (adaptive policy only).
+  std::vector<std::size_t> last_fit_rows(m, samples.num_samples());
   const auto maybe_refit = [&](bool force) {
     if (!options_.sample_reuse) return;
-    const std::size_t grown = samples.num_samples() - last_fit_samples;
-    if (grown == 0) return;
-    // Periodic refits wait for ~50% fresh data; a stuck round refits on
-    // whatever arrived.
-    if (!force && 2 * grown < last_fit_samples) return;
-    obs::Span span("refit", "phase", trace_id);
-    // Staleness screen. Periodic (growth-triggered) refits only touch
-    // candidates that mis-predict a row appended since the last fit:
-    // mismatches on older rows are either inherent (φ has several Y per
-    // X, so the matrix is not a function) or the work of UNSAT-core
-    // repairs that a routine refit must not throw away. A no-progress
-    // round inverts the calculus — repair is stuck by definition, so
-    // there the screen widens to the whole matrix and disagreeing
-    // candidates are relearned outright (the escape hatch that converts
-    // budget-exhausting families into certified ones; see
-    // bench/micro_core BM_ReuseRefit*).
-    const std::size_t screen_from = force ? 0 : last_fit_samples;
-    std::vector<std::size_t> refit_jobs;
-    for (const std::size_t i : jobs) {
-      // A refit pass is real work (m matrix simulations plus tree fits
-      // over the whole accumulated matrix); keep the PR-3 contract that
-      // cancellation/timeout is observed with bounded extra work by
-      // polling between candidates. Bailing out leaves last_fit_samples
-      // untouched — the loop head reports kTimeout next.
-      if (deadline.expired()) return;
-      const std::vector<std::uint64_t> sim =
-          aig::simulate_matrix(manager, f[i], samples);
-      if (packed_mismatches_since(sim, samples.column(ex[i].var), samples,
-                                  screen_from) != 0) {
-        refit_jobs.push_back(i);
-      }
+    const std::size_t now = samples.num_samples();
+    if (force || !options_.adaptive_refit) {
+      const std::size_t grown = now - last_fit_samples;
+      if (grown == 0) return;
+      // Periodic legacy refits wait for ~50% fresh data; a stuck round
+      // refits on whatever arrived.
+      if (!force && 2 * grown < last_fit_samples) return;
     }
-    last_fit_samples = samples.num_samples();
+    obs::Span span("refit", "phase", trace_id);
+    // Staleness screen. Periodic refits only touch candidates that
+    // mis-predict rows appended since their last fit: mismatches on older
+    // rows are either inherent (φ has several Y per X, so the matrix is
+    // not a function) or the work of UNSAT-core repairs that a routine
+    // refit must not throw away. A no-progress round inverts the calculus
+    // — repair is stuck by definition, so there the screen widens to the
+    // whole matrix and disagreeing candidates are relearned outright (the
+    // escape hatch that converts budget-exhausting families into
+    // certified ones; see bench/micro_core BM_ReuseRefit*).
+    std::vector<std::size_t> refit_jobs;
+    bool adaptive_trigger = false;
+    if (!force && options_.adaptive_refit) {
+      for (const std::size_t i : jobs) {
+        // A screen pass is real work (matrix simulations); keep the PR-3
+        // contract that cancellation/timeout is observed with bounded
+        // extra work by polling between candidates. Bailing out leaves
+        // the watermarks untouched — the loop head reports kTimeout next.
+        if (deadline.expired()) return;
+        const std::size_t fresh = now - last_fit_rows[i];
+        if (fresh < options_.adaptive_refit_min_fresh) continue;
+        const std::vector<std::uint64_t> sim =
+            aig::simulate_matrix(manager, f[i], samples);
+        const std::size_t mismatches = packed_mismatches_since(
+            sim, samples.column(ex[i].var), samples, last_fit_rows[i]);
+        if (mismatches == 0) {
+          // Clean screen: advance the watermark so the next error rate is
+          // measured only over rows this candidate has not yet absorbed.
+          last_fit_rows[i] = now;
+        } else if (static_cast<double>(mismatches) >=
+                   options_.adaptive_refit_error_rate *
+                       static_cast<double>(fresh)) {
+          refit_jobs.push_back(i);
+        }
+      }
+      adaptive_trigger = !refit_jobs.empty();
+    } else {
+      const std::size_t screen_from = force ? 0 : last_fit_samples;
+      for (const std::size_t i : jobs) {
+        if (deadline.expired()) return;
+        const std::vector<std::uint64_t> sim =
+            aig::simulate_matrix(manager, f[i], samples);
+        if (packed_mismatches_since(sim, samples.column(ex[i].var), samples,
+                                    screen_from) != 0) {
+          refit_jobs.push_back(i);
+        }
+      }
+      last_fit_samples = now;
+    }
     if (refit_jobs.empty()) return;
     // Repair recorded dependency edges the pre-committed feature relation
     // knows nothing about (a β may mention any Ŷ member), so a feature
@@ -534,6 +581,7 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
       feature_refs[i].resize(keep);
     }
     ++stats.refit_rounds;
+    if (adaptive_trigger) ++stats.adaptive_refits;
     run_fits(refit_jobs, stats.refit_rounds);
     // Adopt with a cycle guard: edges recorded while adopting earlier
     // batch-mates can invalidate a feature this tree was fitted with; a
@@ -560,6 +608,11 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
         if (dep.can_use(i, j) && !dep.depends_on(i, j)) dep.record_use(i, j);
       }
     }
+    // Every screened-and-refitted candidate starts a fresh error window
+    // (watermarks advance whether or not the adoption guard kept the new
+    // tree — re-refitting an inadmissible candidate on the same rows
+    // would just thrash).
+    for (const std::size_t i : refit_jobs) last_fit_rows[i] = now;
     refresh_order();
   };
 
@@ -782,6 +835,14 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
         // move. Enqueue every y_t whose model value disagrees with its
         // current output (lines 15-17).
         const cnf::Assignment& rho = phi_solver.model();
+        // ρ is a full model of φ harvested from the already-hot G_k
+        // session — stream it into the training matrix so the next refit
+        // sees the repair neighborhood, not just the per-counterexample
+        // MaxSAT points.
+        if (options_.sample_reuse && options_.stream_gk_samples &&
+            append_sample(rho)) {
+          ++stats.gk_streamed_samples;
+        }
         for (std::size_t t = 0; t < m; ++t) {
           if (t == k || in_yhat[t] || processed[t]) continue;
           if (rho.value(ex[t].var) != sigma_yp[t]) queue.push_back(t);

@@ -77,6 +77,26 @@ struct Manthan3Options {
   /// no repair progress. Later refits therefore train on
   /// counterexample-corrected data instead of the stale round-0 samples.
   bool sample_reuse = true;
+  /// Streaming sample harvest (sample_reuse only): when a repair G_k query
+  /// comes back SAT, its model ρ is a full model of φ produced by a solver
+  /// session that is already hot — append it to the training matrix
+  /// (fingerprint-deduped) instead of discarding it. Later refits then see
+  /// the repair neighborhood of the counterexample, not just the one
+  /// MaxSAT-corrected point per round.
+  bool stream_gk_samples = true;
+  /// Refit trigger policy (sample_reuse only). true = adaptive: every
+  /// round, each candidate with at least adaptive_refit_min_fresh rows
+  /// appended since its own last fit is batch-simulated over the matrix
+  /// (cheap — the SIMD data path), and is refit when its error rate over
+  /// those fresh rows reaches adaptive_refit_error_rate. false = legacy
+  /// global policy: screen only after the whole matrix grew ~50% since
+  /// the previous screen. No-progress rounds force a full-matrix screen
+  /// under either policy.
+  bool adaptive_refit = true;
+  /// Minimum fresh rows before a candidate's error rate is measured.
+  std::size_t adaptive_refit_min_fresh = 16;
+  /// Fresh-row error rate at which a candidate is refit.
+  double adaptive_refit_error_rate = 0.05;
   /// Inter-round maintenance on the persistent solvers (incremental
   /// pipeline only): every `inprocess_interval` counterexamples, run SAT
   /// inprocessing (occurrence-list subsumption + self-subsumption,
@@ -173,6 +193,13 @@ struct SynthesisStats {
   /// since their last fit are refit, and a refit whose support would
   /// create a dependency cycle is rejected (its predecessor stays).
   std::size_t refit_candidates = 0;
+  /// G_k-SAT models streamed into the matrix (stream_gk_samples; subset
+  /// of samples_appended).
+  std::size_t gk_streamed_samples = 0;
+  /// Refit passes triggered by the adaptive per-candidate error-rate
+  /// policy (subset of refit_rounds; forced no-progress refits and legacy
+  /// growth-triggered refits are not counted here).
+  std::size_t adaptive_refits = 0;
   // --- tier-2 analysis cache (zero when analysis_cache is null) -----------
   /// Padoa verdicts answered from the cache (SAT checks skipped).
   std::size_t analysis_unique_hits = 0;

@@ -4,19 +4,16 @@
 
 #include "obs/trace.hpp"
 #include "sat/solver.hpp"
+#include "util/simd.hpp"
 
 namespace manthan::sampler {
 
 namespace {
 
-/// Population count of variable `v`'s packed column.
+/// Population count of variable `v`'s packed column (tail bits are zero by
+/// construction, so no masking is needed).
 std::size_t column_popcount(const cnf::SampleMatrix& m, Var v) {
-  std::size_t trues = 0;
-  const std::uint64_t* col = m.column(v);
-  for (std::size_t w = 0; w < m.num_words(); ++w) {
-    trues += static_cast<std::size_t>(__builtin_popcountll(col[w]));
-  }
-  return trues;
+  return util::simd::kernels().popcount(m.column(v), m.num_words());
 }
 
 }  // namespace

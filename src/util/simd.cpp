@@ -1,0 +1,129 @@
+// Tier detection, MANTHAN_SIMD resolution, and the active-kernel dispatch
+// point. Detection uses __builtin_cpu_supports, which already folds in the
+// OS XSAVE/XCR0 state for the wide register files, so a kernel is only
+// offered when the vector registers will actually be preserved across
+// context switches.
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/rng.hpp"
+#include "util/simd_detail.hpp"
+
+namespace manthan::util::simd {
+namespace {
+
+const Kernels* table_for(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return scalar_kernels_table();
+    case Tier::kAvx2: return avx2_kernels_table();
+    case Tier::kAvx512: return avx512_kernels_table();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Tier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vpopcntdq");
+  }
+  return false;
+#else
+  return tier == Tier::kScalar;
+#endif
+}
+
+/// Active tier, encoded as int(Tier); -1 until first resolution. Relaxed is
+/// enough: resolution is deterministic, so a racing double-init stores the
+/// same value.
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool tier_supported(Tier tier) {
+  return table_for(tier) != nullptr && cpu_supports(tier);
+}
+
+Tier best_supported_tier() {
+  if (tier_supported(Tier::kAvx512)) return Tier::kAvx512;
+  if (tier_supported(Tier::kAvx2)) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+Tier resolve_tier(const char* override_value) {
+  const Tier best = best_supported_tier();
+  if (override_value == nullptr || *override_value == '\0') return best;
+  Tier requested = best;
+  if (std::strcmp(override_value, "scalar") == 0) {
+    requested = Tier::kScalar;
+  } else if (std::strcmp(override_value, "avx2") == 0) {
+    requested = Tier::kAvx2;
+  } else if (std::strcmp(override_value, "avx512") == 0) {
+    requested = Tier::kAvx512;
+  }
+  // Clamp down to what this machine runs: asking for a wider tier than the
+  // CPU supports silently degrades rather than crashing on SIGILL.
+  return static_cast<int>(requested) <= static_cast<int>(best) ? requested
+                                                               : best;
+}
+
+Tier active_tier() {
+  int tier = g_active_tier.load(std::memory_order_relaxed);
+  if (tier < 0) {
+    tier = static_cast<int>(resolve_tier(std::getenv("MANTHAN_SIMD")));
+    g_active_tier.store(tier, std::memory_order_relaxed);
+  }
+  return static_cast<Tier>(tier);
+}
+
+const Kernels& kernels() { return kernels_for(active_tier()); }
+
+const Kernels& kernels_for(Tier tier) {
+  const Kernels* table = table_for(tier);
+  return table != nullptr ? *table : *scalar_kernels_table();
+}
+
+Tier set_active_tier_for_testing(Tier tier) {
+  const Tier previous = active_tier();
+  if (tier_supported(tier)) {
+    g_active_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  }
+  return previous;
+}
+
+std::uint64_t fingerprint_chain(std::uint64_t h, const std::uint64_t* words,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) h = splitmix64(h ^ words[i]);
+  return h;
+}
+
+void collect_set_bits(const std::uint64_t* words, std::size_t n,
+                      std::vector<std::uint32_t>& out) {
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint32_t base = static_cast<std::uint32_t>(w << 6);
+    for (std::uint64_t bits = words[w]; bits != 0; bits &= bits - 1) {
+      out.push_back(base +
+                    static_cast<std::uint32_t>(__builtin_ctzll(bits)));
+    }
+  }
+}
+
+}  // namespace manthan::util::simd

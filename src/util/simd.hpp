@@ -1,0 +1,145 @@
+// Runtime-dispatched SIMD kernels for the packed sample->learn data path.
+//
+// The bit-packed pipeline (cnf::SampleMatrix columns, dtree split counting,
+// aig::simulate_matrix, fingerprint dedup) spends its time in a handful of
+// word-range primitives: masked popcounts, two-input combines, fingerprint
+// chaining, and set-bit iteration. This module compiles those primitives
+// three times — scalar, AVX2, AVX-512 — in separate translation units with
+// per-TU compile flags, and selects one table of function pointers at
+// startup via CPUID. The `MANTHAN_SIMD=scalar|avx2|avx512` environment
+// variable overrides the choice (clamped down to what the CPU supports), so
+// committed benches and CI stay portable and differential tests can force a
+// tier per process.
+//
+// Contract: every tier is bit-identical to the scalar reference. Kernels
+// use unaligned-encoded vector loads (same speed as aligned loads on
+// aligned data, safe everywhere); callers that own storage should still
+// 64-byte-align it (see AlignedVector) so cache-line splits never happen.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace manthan::util::simd {
+
+/// Alignment (bytes) for packed-word storage: one AVX-512 lane.
+inline constexpr std::size_t kAlignBytes = 64;
+
+/// Dispatch tiers, ordered: higher value = wider lanes.
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Human-readable tier name ("scalar" / "avx2" / "avx512").
+const char* tier_name(Tier tier);
+
+/// One table of word-range primitives; all counts are in 64-bit words.
+/// Every pointer is non-null in every table.
+struct Kernels {
+  /// popcount over a[0..n).
+  std::size_t (*popcount)(const std::uint64_t* a, std::size_t n);
+
+  /// popcount of (a ^ b) over [0..n) — packed row-range mismatch count.
+  std::size_t (*popcount_xor)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+
+  /// Fused node counts: *total = popcount(a), *pos = popcount(a & b).
+  void (*count_node)(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n, std::size_t* total, std::size_t* pos);
+
+  /// Fused split counts: *hi = popcount(a & b), *hi_pos = popcount(a & b & c).
+  void (*count_split)(const std::uint64_t* a, const std::uint64_t* b,
+                      const std::uint64_t* c, std::size_t n, std::size_t* hi,
+                      std::size_t* hi_pos);
+
+  /// hi[i] = a[i] & b[i]; lo[i] = a[i] & ~b[i] (child mask split).
+  void (*split_masks)(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* hi, std::uint64_t* lo, std::size_t n);
+
+  /// dst[i] = ((a[i] ^ inv_a) & (b[i] ^ inv_b)) ^ inv_out.
+  /// With inv_* drawn from {0, ~0} this expresses AND, ANDNOT, NOR, OR and
+  /// NAND (De Morgan via inv_out) — the full gate set simulate_matrix needs.
+  /// dst may alias a or b.
+  void (*combine)(std::uint64_t* dst, const std::uint64_t* a,
+                  std::uint64_t inv_a, const std::uint64_t* b,
+                  std::uint64_t inv_b, std::uint64_t inv_out, std::size_t n);
+
+  /// dst[i] = src[i] ^ inv (copy when inv == 0, complement when inv == ~0).
+  /// dst may alias src.
+  void (*xor_const)(std::uint64_t* dst, const std::uint64_t* src,
+                    std::uint64_t inv, std::size_t n);
+};
+
+/// Chain a fingerprint over a word range: h = splitmix64(h ^ word) per word.
+/// Inherently sequential, so there is exactly one implementation, shared by
+/// every tier — cnf::fingerprint / row_fingerprint route through it.
+std::uint64_t fingerprint_chain(std::uint64_t h, const std::uint64_t* words,
+                                std::size_t n);
+
+/// Append the index (word*64 + bit) of every set bit in words[0..n) to out.
+/// The shared sparse-unpack used by the dtree sparse fitting path.
+void collect_set_bits(const std::uint64_t* words, std::size_t n,
+                      std::vector<std::uint32_t>& out);
+
+/// True when `tier` both compiled into this binary and runs on this CPU.
+bool tier_supported(Tier tier);
+
+/// Widest supported tier on this machine (>= kScalar always).
+Tier best_supported_tier();
+
+/// Resolve an override string against the supported set: "scalar"/"avx2"/
+/// "avx512" clamp down to best_supported_tier(); null/empty/unknown values
+/// resolve to best_supported_tier(). Pure function, exposed for tests — the
+/// process-wide choice applies it to getenv("MANTHAN_SIMD") once.
+Tier resolve_tier(const char* override_value);
+
+/// The process-wide active tier (resolved once, on first use).
+Tier active_tier();
+
+/// Kernel table for the active tier.
+const Kernels& kernels();
+
+/// Kernel table for a specific tier; `tier` must be supported.
+const Kernels& kernels_for(Tier tier);
+
+/// Force the active tier (differential tests). Returns the previous tier.
+/// `tier` must be supported; thread-safe, but callers should only flip it
+/// while no kernel users are running.
+Tier set_active_tier_for_testing(Tier tier);
+
+/// Minimal C++17 allocator yielding kAlignBytes-aligned storage.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignBytes)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kAlignBytes));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage (packed columns, node masks).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace manthan::util::simd

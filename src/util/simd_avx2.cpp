@@ -1,0 +1,159 @@
+// AVX2 kernel tier: 256-bit lanes, 4 packed words per step. Popcounts use
+// the Mula nibble-shuffle (two PSHUFB table lookups + PSADBW horizontal
+// byte sums), which beats four scalar POPCNTs once the data is already in
+// vector registers. This TU is compiled with -mavx2 -mpopcnt (see
+// src/util/CMakeLists.txt) and self-gates on the predefined macros so
+// non-x86 builds degrade to a nullptr table.
+#include "util/simd_detail.hpp"
+
+#if defined(__AVX2__) && defined(__POPCNT__)
+
+#include <immintrin.h>
+
+namespace manthan::util::simd {
+namespace {
+
+inline __m256i load(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// Per-64-bit-lane popcount of v (Mula): nibble table lookups summed with
+/// _mm256_sad_epu8 into four word-lane counts.
+inline __m256i popcnt_lanes(__m256i v) {
+  const __m256i table = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(table, lo),
+                                         _mm256_shuffle_epi8(table, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline std::size_t horizontal_sum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::size_t>(_mm_extract_epi64(sum, 1));
+}
+
+std::size_t popcount_avx2(const std::uint64_t* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, popcnt_lanes(load(a + i)));
+  }
+  return horizontal_sum(acc) + detail::popcount_ref(a + i, n - i);
+}
+
+std::size_t popcount_xor_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, popcnt_lanes(_mm256_xor_si256(load(a + i), load(b + i))));
+  }
+  return horizontal_sum(acc) + detail::popcount_xor_ref(a + i, b + i, n - i);
+}
+
+void count_node_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n, std::size_t* total, std::size_t* pos) {
+  __m256i acc_t = _mm256_setzero_si256();
+  __m256i acc_p = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = load(a + i);
+    acc_t = _mm256_add_epi64(acc_t, popcnt_lanes(va));
+    acc_p = _mm256_add_epi64(
+        acc_p, popcnt_lanes(_mm256_and_si256(va, load(b + i))));
+  }
+  std::size_t tail_t = 0;
+  std::size_t tail_p = 0;
+  detail::count_node_ref(a + i, b + i, n - i, &tail_t, &tail_p);
+  *total = horizontal_sum(acc_t) + tail_t;
+  *pos = horizontal_sum(acc_p) + tail_p;
+}
+
+void count_split_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                      const std::uint64_t* c, std::size_t n, std::size_t* hi,
+                      std::size_t* hi_pos) {
+  __m256i acc_h = _mm256_setzero_si256();
+  __m256i acc_hp = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i ab = _mm256_and_si256(load(a + i), load(b + i));
+    acc_h = _mm256_add_epi64(acc_h, popcnt_lanes(ab));
+    acc_hp = _mm256_add_epi64(
+        acc_hp, popcnt_lanes(_mm256_and_si256(ab, load(c + i))));
+  }
+  std::size_t tail_h = 0;
+  std::size_t tail_hp = 0;
+  detail::count_split_ref(a + i, b + i, c + i, n - i, &tail_h, &tail_hp);
+  *hi = horizontal_sum(acc_h) + tail_h;
+  *hi_pos = horizontal_sum(acc_hp) + tail_hp;
+}
+
+void split_masks_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* hi, std::uint64_t* lo, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = load(a + i);
+    const __m256i vb = load(b + i);
+    store(hi + i, _mm256_and_si256(va, vb));
+    store(lo + i, _mm256_andnot_si256(vb, va));
+  }
+  detail::split_masks_ref(a + i, b + i, hi + i, lo + i, n - i);
+}
+
+void combine_avx2(std::uint64_t* dst, const std::uint64_t* a,
+                  std::uint64_t inv_a, const std::uint64_t* b,
+                  std::uint64_t inv_b, std::uint64_t inv_out, std::size_t n) {
+  const __m256i va_inv = _mm256_set1_epi64x(static_cast<long long>(inv_a));
+  const __m256i vb_inv = _mm256_set1_epi64x(static_cast<long long>(inv_b));
+  const __m256i vo_inv = _mm256_set1_epi64x(static_cast<long long>(inv_out));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_xor_si256(load(a + i), va_inv);
+    const __m256i vb = _mm256_xor_si256(load(b + i), vb_inv);
+    store(dst + i, _mm256_xor_si256(_mm256_and_si256(va, vb), vo_inv));
+  }
+  detail::combine_ref(dst + i, a + i, inv_a, b + i, inv_b, inv_out, n - i);
+}
+
+void xor_const_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                    std::uint64_t inv, std::size_t n) {
+  const __m256i v_inv = _mm256_set1_epi64x(static_cast<long long>(inv));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store(dst + i, _mm256_xor_si256(load(src + i), v_inv));
+  }
+  detail::xor_const_ref(dst + i, src + i, inv, n - i);
+}
+
+}  // namespace
+
+const Kernels* avx2_kernels_table() {
+  static const Kernels table = {
+      &popcount_avx2,    &popcount_xor_avx2, &count_node_avx2,
+      &count_split_avx2, &split_masks_avx2,  &combine_avx2,
+      &xor_const_avx2,
+  };
+  return &table;
+}
+
+}  // namespace manthan::util::simd
+
+#else  // !(__AVX2__ && __POPCNT__)
+
+namespace manthan::util::simd {
+const Kernels* avx2_kernels_table() { return nullptr; }
+}  // namespace manthan::util::simd
+
+#endif

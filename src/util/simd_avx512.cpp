@@ -1,0 +1,153 @@
+// AVX-512 kernel tier: 512-bit lanes, 8 packed words per step, native
+// per-lane popcount via VPOPCNTQ (AVX512VPOPCNTDQ — Ice Lake and later).
+// Compiled with -mavx512f -mavx512bw -mavx512vpopcntdq (see
+// src/util/CMakeLists.txt); self-gates on the predefined macros.
+#include "util/simd_detail.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+namespace manthan::util::simd {
+namespace {
+
+inline __m512i load(const std::uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+inline void store(std::uint64_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+/// Sum of the eight 64-bit lanes. Spelled as store + scalar sum instead of
+/// _mm512_reduce_add_epi64: gcc's inline expansion of the latter trips a
+/// -Wuninitialized false positive via _mm256_undefined_si256.
+inline std::size_t horizontal_sum(__m512i acc) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(reinterpret_cast<void*>(lanes), acc);
+  std::size_t total = 0;
+  for (int i = 0; i < 8; ++i) total += static_cast<std::size_t>(lanes[i]);
+  return total;
+}
+
+std::size_t popcount_avx512(const std::uint64_t* a, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(load(a + i)));
+  }
+  return horizontal_sum(acc) +
+         detail::popcount_ref(a + i, n - i);
+}
+
+std::size_t popcount_xor_avx512(const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_xor_si512(load(a + i), load(b + i))));
+  }
+  return horizontal_sum(acc) +
+         detail::popcount_xor_ref(a + i, b + i, n - i);
+}
+
+void count_node_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n, std::size_t* total, std::size_t* pos) {
+  __m512i acc_t = _mm512_setzero_si512();
+  __m512i acc_p = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = load(a + i);
+    acc_t = _mm512_add_epi64(acc_t, _mm512_popcnt_epi64(va));
+    acc_p = _mm512_add_epi64(
+        acc_p, _mm512_popcnt_epi64(_mm512_and_si512(va, load(b + i))));
+  }
+  std::size_t tail_t = 0;
+  std::size_t tail_p = 0;
+  detail::count_node_ref(a + i, b + i, n - i, &tail_t, &tail_p);
+  *total = horizontal_sum(acc_t) + tail_t;
+  *pos = horizontal_sum(acc_p) + tail_p;
+}
+
+void count_split_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                        const std::uint64_t* c, std::size_t n,
+                        std::size_t* hi, std::size_t* hi_pos) {
+  __m512i acc_h = _mm512_setzero_si512();
+  __m512i acc_hp = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i ab = _mm512_and_si512(load(a + i), load(b + i));
+    acc_h = _mm512_add_epi64(acc_h, _mm512_popcnt_epi64(ab));
+    acc_hp = _mm512_add_epi64(
+        acc_hp, _mm512_popcnt_epi64(_mm512_and_si512(ab, load(c + i))));
+  }
+  std::size_t tail_h = 0;
+  std::size_t tail_hp = 0;
+  detail::count_split_ref(a + i, b + i, c + i, n - i, &tail_h, &tail_hp);
+  *hi = horizontal_sum(acc_h) + tail_h;
+  *hi_pos =
+      horizontal_sum(acc_hp) + tail_hp;
+}
+
+void split_masks_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                        std::uint64_t* hi, std::uint64_t* lo, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = load(a + i);
+    const __m512i vhi = _mm512_and_si512(va, load(b + i));
+    store(hi + i, vhi);
+    // a & ~b == a ^ (a & b); avoids _mm512_andnot_si512, whose gcc inline
+    // expansion trips the same -Wmaybe-uninitialized false positive as the
+    // reduce intrinsics.
+    store(lo + i, _mm512_xor_si512(va, vhi));
+  }
+  detail::split_masks_ref(a + i, b + i, hi + i, lo + i, n - i);
+}
+
+void combine_avx512(std::uint64_t* dst, const std::uint64_t* a,
+                    std::uint64_t inv_a, const std::uint64_t* b,
+                    std::uint64_t inv_b, std::uint64_t inv_out,
+                    std::size_t n) {
+  const __m512i va_inv = _mm512_set1_epi64(static_cast<long long>(inv_a));
+  const __m512i vb_inv = _mm512_set1_epi64(static_cast<long long>(inv_b));
+  const __m512i vo_inv = _mm512_set1_epi64(static_cast<long long>(inv_out));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_xor_si512(load(a + i), va_inv);
+    const __m512i vb = _mm512_xor_si512(load(b + i), vb_inv);
+    store(dst + i, _mm512_xor_si512(_mm512_and_si512(va, vb), vo_inv));
+  }
+  detail::combine_ref(dst + i, a + i, inv_a, b + i, inv_b, inv_out, n - i);
+}
+
+void xor_const_avx512(std::uint64_t* dst, const std::uint64_t* src,
+                      std::uint64_t inv, std::size_t n) {
+  const __m512i v_inv = _mm512_set1_epi64(static_cast<long long>(inv));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store(dst + i, _mm512_xor_si512(load(src + i), v_inv));
+  }
+  detail::xor_const_ref(dst + i, src + i, inv, n - i);
+}
+
+}  // namespace
+
+const Kernels* avx512_kernels_table() {
+  static const Kernels table = {
+      &popcount_avx512,    &popcount_xor_avx512, &count_node_avx512,
+      &count_split_avx512, &split_masks_avx512,  &combine_avx512,
+      &xor_const_avx512,
+  };
+  return &table;
+}
+
+}  // namespace manthan::util::simd
+
+#else  // !(__AVX512F__ && __AVX512VPOPCNTDQ__)
+
+namespace manthan::util::simd {
+const Kernels* avx512_kernels_table() { return nullptr; }
+}  // namespace manthan::util::simd
+
+#endif

@@ -1,0 +1,92 @@
+// Internal: scalar reference implementations of every kernel, plus the
+// per-tier table hooks. The scalar TU wraps these directly; the AVX2 /
+// AVX-512 TUs call them for short ranges and vector-remainder tails, which
+// is what keeps every tier bit-identical by construction (a popcount is a
+// popcount — the contract is exact equality, not approximation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd.hpp"
+
+namespace manthan::util::simd::detail {
+
+inline std::size_t popcount_ref(const std::uint64_t* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return total;
+}
+
+inline std::size_t popcount_xor_ref(const std::uint64_t* a,
+                                    const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+inline void count_node_ref(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n, std::size_t* total,
+                           std::size_t* pos) {
+  std::size_t t = 0;
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+    p += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  *total = t;
+  *pos = p;
+}
+
+inline void count_split_ref(const std::uint64_t* a, const std::uint64_t* b,
+                            const std::uint64_t* c, std::size_t n,
+                            std::size_t* hi, std::size_t* hi_pos) {
+  std::size_t h = 0;
+  std::size_t hp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ab = a[i] & b[i];
+    h += static_cast<std::size_t>(__builtin_popcountll(ab));
+    hp += static_cast<std::size_t>(__builtin_popcountll(ab & c[i]));
+  }
+  *hi = h;
+  *hi_pos = hp;
+}
+
+inline void split_masks_ref(const std::uint64_t* a, const std::uint64_t* b,
+                            std::uint64_t* hi, std::uint64_t* lo,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = a[i] & b[i];
+    lo[i] = a[i] & ~b[i];
+  }
+}
+
+inline void combine_ref(std::uint64_t* dst, const std::uint64_t* a,
+                        std::uint64_t inv_a, const std::uint64_t* b,
+                        std::uint64_t inv_b, std::uint64_t inv_out,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = ((a[i] ^ inv_a) & (b[i] ^ inv_b)) ^ inv_out;
+  }
+}
+
+inline void xor_const_ref(std::uint64_t* dst, const std::uint64_t* src,
+                          std::uint64_t inv, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] ^ inv;
+}
+
+}  // namespace manthan::util::simd::detail
+
+namespace manthan::util::simd {
+
+// Per-tier tables, defined one per TU. The vector hooks return nullptr when
+// their TU was compiled without the matching ISA flags (non-x86 builds).
+const Kernels* scalar_kernels_table();
+const Kernels* avx2_kernels_table();
+const Kernels* avx512_kernels_table();
+
+}  // namespace manthan::util::simd

@@ -1,0 +1,17 @@
+// Scalar kernel tier: the reference implementations, verbatim. Always
+// compiled, always supported — the other tiers are checked against it.
+#include "util/simd_detail.hpp"
+
+namespace manthan::util::simd {
+
+const Kernels* scalar_kernels_table() {
+  static const Kernels table = {
+      &detail::popcount_ref,  &detail::popcount_xor_ref,
+      &detail::count_node_ref, &detail::count_split_ref,
+      &detail::split_masks_ref, &detail::combine_ref,
+      &detail::xor_const_ref,
+  };
+  return &table;
+}
+
+}  // namespace manthan::util::simd

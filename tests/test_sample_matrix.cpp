@@ -2,6 +2,7 @@
 // AIG batch simulator against the scalar evaluator.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "aig/aig_sim.hpp"
 #include "cnf/sample_matrix.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace manthan::cnf {
 namespace {
@@ -72,6 +74,34 @@ TEST(SampleMatrix, TailMaskFullWhenAligned) {
   for (int s = 0; s < 64; ++s) m.append(Assignment(2, true));
   EXPECT_EQ(m.num_words(), 1u);
   EXPECT_EQ(m.tail_mask(), ~0ULL);
+}
+
+TEST(SampleMatrix, ColumnsStay64ByteAlignedAcrossGrowth) {
+  // The SIMD kernels are fed column pointers directly; the storage promise
+  // is that every column starts on a cache line (capacity is always a
+  // multiple of 8 words), and growth must re-establish it.
+  util::Rng rng(19);
+  SampleMatrix m(9);
+  std::vector<Assignment> rows;
+  for (int s = 0; s < 2000; ++s) {
+    rows.push_back(random_assignment(9, rng));
+    m.append(rows.back());
+    if (s % 257 == 0 || s == 1999) {
+      for (Var v = 0; v < 9; ++v) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.column(v)) %
+                      util::simd::kAlignBytes,
+                  0u)
+            << "after " << s + 1 << " samples, column " << v;
+      }
+    }
+  }
+  // Growth preserved every previously appended row and the tail invariant.
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    ASSERT_EQ(m.row(s), rows[s]) << "sample " << s;
+  }
+  for (Var v = 0; v < 9; ++v) {
+    EXPECT_EQ(m.column(v)[m.num_words() - 1] & ~m.tail_mask(), 0u);
+  }
 }
 
 TEST(SampleMatrix, AppendRejectsUndersizedAssignments) {
@@ -171,6 +201,24 @@ TEST(SimulateMatrix, MatchesScalarEvaluation) {
           << "round " << round << " sample " << s;
     }
   }
+}
+
+TEST(SimulateMatrix, TailBitsAreZeroInTheReturnedWords) {
+  // Contract since the SIMD restructure: simulate_matrix masks the final
+  // word before returning, so callers may popcount the result directly.
+  util::Rng rng(29);
+  aig::Aig manager;
+  const aig::Ref root = random_cone(manager, 6, 20, rng);
+  SampleMatrix m(6);
+  for (int s = 0; s < 67; ++s) m.append(random_assignment(6, rng));
+  ASSERT_NE(m.tail_mask(), ~0ULL);
+  const std::vector<std::uint64_t> sim =
+      aig::simulate_matrix(manager, root, m);
+  EXPECT_EQ(sim.back() & ~m.tail_mask(), 0u);
+  // Same for a constant-true cone, whose unmasked word would be all-ones.
+  const std::vector<std::uint64_t> t =
+      aig::simulate_matrix(manager, aig::kTrueRef, m);
+  EXPECT_EQ(t.back(), m.tail_mask());
 }
 
 TEST(SimulateMatrix, ConstantsAndForeignInputsAreFalse) {

@@ -18,6 +18,7 @@
 //     --trace <file>                 write a Chrome trace of the run
 //     --metrics-json <file>          write a metrics snapshot as JSON
 //     --metrics-prom <file>          write Prometheus text exposition
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -52,6 +53,14 @@ const char* kDemo =
     "-6 2 3 0\n"
     "6 -2 0\n"
     "6 -3 0\n";
+
+// SIGINT/SIGTERM flip the token; the engines observe it at their next
+// deadline poll, return a truncated kTimeout result, and the normal exit
+// path still flushes --trace/--metrics-json — an interrupted run reports
+// its telemetry instead of vanishing.
+manthan::util::CancelToken g_interrupt;
+
+extern "C" void cli_handle_signal(int) { g_interrupt.cancel(); }
 
 struct CliOptions {
   std::string engine = "manthan3";
@@ -211,6 +220,8 @@ int main(int argc, char** argv) {
   }
 
   // --- solve -------------------------------------------------------------
+  std::signal(SIGINT, cli_handle_signal);
+  std::signal(SIGTERM, cli_handle_signal);
   manthan::aig::Aig manager;
   manthan::core::SynthesisResult result;
   if (cli.engine == "manthan3") {
@@ -218,21 +229,29 @@ int main(int argc, char** argv) {
     options.time_limit_seconds = cli.timeout;
     options.use_unique_extraction = cli.unique;
     options.seed = cli.seed;
+    options.cancel = &g_interrupt;
     result = manthan::core::Manthan3(options).synthesize(*to_solve, manager);
   } else if (cli.engine == "hqs") {
     manthan::baselines::HqsLiteOptions options;
     options.time_limit_seconds = cli.timeout;
+    options.cancel = &g_interrupt;
     result = manthan::baselines::HqsLite(options).synthesize(*to_solve,
                                                              manager);
   } else if (cli.engine == "pedant") {
     manthan::baselines::PedantLiteOptions options;
     options.time_limit_seconds = cli.timeout;
+    options.cancel = &g_interrupt;
     result =
         manthan::baselines::PedantLite(options).synthesize(*to_solve,
                                                            manager);
   } else {
     std::cerr << "unknown engine " << cli.engine << "\n";
     return usage(argv[0]);
+  }
+  if (g_interrupt.cancelled()) {
+    std::cout << "interrupted: truncated "
+              << manthan::portfolio::status_name(result.status)
+              << " result after " << result.stats.total_seconds << " s\n";
   }
 
   std::cout << "engine: " << cli.engine << ", status: "

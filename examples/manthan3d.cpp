@@ -25,6 +25,15 @@
 //     --poll-ms <n>       sleep between drains (default 200)
 //     --max-requests <n>  stop after n requests (0 = unlimited)
 //     --no-cache          disable the tier-1 result cache
+//     --cache-dir <dir>   persist the tier-1 cache (reloaded at startup,
+//                         so a restarted daemon answers repeats warm)
+//     --max-attempts <n>  executions per request before quarantine to
+//                         failed/ (default 3)
+//     --retry-base-ms <n> base of the exponential retry backoff
+//     --mem-budget-mb <n> per-request growth-site memory budget (0 = off)
+//     --conflict-budget <n>  per-request SAT-conflict budget (0 = off)
+//     --faults <spec>     fault-injection schedule (chaos testing; same
+//                         grammar as MANTHAN_FAULTS)
 //     --stats-json <f>    write service counters to f (rewritten
 //                         atomically after every drain cycle, so a killed
 //                         daemon leaves fresh counters behind)
@@ -44,6 +53,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cancel.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -62,6 +72,12 @@ struct CliOptions {
   int poll_ms = 200;
   std::size_t max_requests = 0;
   bool use_cache = true;
+  std::string cache_dir;
+  std::size_t max_attempts = 3;
+  double retry_base_ms = 200.0;
+  std::uint64_t mem_budget_mb = 0;
+  std::uint64_t conflict_budget = 0;
+  std::string faults;
   std::string stats_json;
   std::string trace_path;
   std::string metrics_json;
@@ -72,6 +88,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --queue DIR [--workers N] [--timeout S] [--seed N]"
                " [--once] [--poll-ms N] [--max-requests N] [--no-cache]"
+               " [--cache-dir D] [--max-attempts N] [--retry-base-ms N]"
+               " [--mem-budget-mb N] [--conflict-budget N] [--faults SPEC]"
                " [--stats-json F] [--trace F] [--metrics-json F]"
                " [--metrics-prom F]\n";
   return 2;
@@ -148,6 +166,18 @@ int main(int argc, char** argv) {
       cli.max_requests = std::stoul(next("--max-requests"));
     } else if (arg == "--no-cache") {
       cli.use_cache = false;
+    } else if (arg == "--cache-dir") {
+      cli.cache_dir = next("--cache-dir");
+    } else if (arg == "--max-attempts") {
+      cli.max_attempts = std::stoul(next("--max-attempts"));
+    } else if (arg == "--retry-base-ms") {
+      cli.retry_base_ms = std::stod(next("--retry-base-ms"));
+    } else if (arg == "--mem-budget-mb") {
+      cli.mem_budget_mb = std::stoull(next("--mem-budget-mb"));
+    } else if (arg == "--conflict-budget") {
+      cli.conflict_budget = std::stoull(next("--conflict-budget"));
+    } else if (arg == "--faults") {
+      cli.faults = next("--faults");
     } else if (arg == "--stats-json") {
       cli.stats_json = next("--stats-json");
     } else if (arg == "--trace") {
@@ -166,12 +196,24 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   if (!cli.trace_path.empty()) manthan::obs::start_tracing();
+  if (!cli.faults.empty()) {
+    try {
+      manthan::util::fault::install(cli.faults);
+    } catch (const std::exception& e) {
+      std::cerr << "bad --faults spec: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   manthan::engine::ServiceOptions service_options;
   service_options.workers = cli.workers;
   service_options.default_time_limit_seconds = cli.timeout;
   service_options.seed = cli.seed;
   service_options.result_cache = cli.use_cache;
+  service_options.cache_dir = cli.cache_dir;
+  service_options.default_budget.memory_bytes =
+      cli.mem_budget_mb * 1024 * 1024;
+  service_options.default_budget.conflicts = cli.conflict_budget;
   manthan::engine::Service service(service_options);
 
   manthan::engine::DaemonOptions daemon_options;
@@ -179,6 +221,8 @@ int main(int argc, char** argv) {
   daemon_options.max_requests = cli.max_requests;
   daemon_options.stop = &g_stop;
   daemon_options.use_cache = cli.use_cache;
+  daemon_options.max_attempts = cli.max_attempts;
+  daemon_options.retry_base_ms = cli.retry_base_ms;
 
   std::cout << "manthan3d: serving " << cli.queue_dir << " with "
             << service.worker_count() << " workers\n";
@@ -192,14 +236,19 @@ int main(int argc, char** argv) {
     // drain so a killed daemon still leaves usable counters and traces.
     write_telemetry(cli, service);
     for (const auto& record : report.records) {
-      std::cout << record.path << ": "
-                << (record.malformed
-                        ? "malformed"
-                        : record.cancelled
-                              ? "cancelled"
-                              : manthan::engine::status_name(record.status))
-                << (record.cache_hit ? " (cached)" : "") << " in "
-                << record.seconds << "s\n";
+      const char* outcome =
+          record.malformed      ? "malformed"
+          : record.cancelled    ? "cancelled"
+          : record.quarantined  ? "quarantined"
+          : record.deferred     ? "deferred"
+          : record.retried      ? "retried"
+                                : manthan::engine::status_name(record.status);
+      std::cout << record.path << ": " << outcome
+                << (record.cache_hit ? " (cached)" : "");
+      if (record.attempts > 1) {
+        std::cout << " (attempt " << record.attempts << ")";
+      }
+      std::cout << " in " << record.seconds << "s\n";
     }
     if (cli.once || g_stop.cancelled()) break;
     if (cli.max_requests != 0 && total_processed >= cli.max_requests) break;

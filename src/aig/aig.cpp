@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/budget.hpp"
+
 namespace manthan::aig {
 
 namespace {
@@ -24,6 +26,7 @@ Aig::Aig() {
 Ref Aig::input(std::int32_t input_id) {
   const auto it = input_of_id_.find(input_id);
   if (it != input_of_id_.end()) return it->second;
+  reserve_node_slot();
   const auto index = static_cast<std::uint32_t>(nodes_.size());
   Node n;
   n.input_id = input_id;
@@ -42,10 +45,26 @@ std::int32_t Aig::input_id(Ref r) const {
   return nodes_[ref_node(r)].input_id;
 }
 
+void Aig::reserve_node_slot() {
+  if (nodes_.size() < nodes_.capacity()) return;
+  // Node-table growth is an instrumented hazard point: the capacity delta
+  // is charged to the thread's ResourceBudget and a (real or injected)
+  // bad_alloc becomes OutOfBudgetError instead of process death.
+  const std::size_t new_cap = std::max<std::size_t>(nodes_.capacity() * 2, 64);
+  util::guarded_grow(util::fault::Site::kAigNodeAlloc,
+                     (new_cap - nodes_.capacity()) * sizeof(Node),
+                     [&] { nodes_.reserve(new_cap); });
+}
+
 void Aig::strash_grow() {
   const std::size_t cap = strash_keys_.empty() ? 1024 : strash_keys_.size() * 2;
-  std::vector<std::uint64_t> keys(cap, 0);
-  std::vector<Ref> vals(cap, 0);
+  std::vector<std::uint64_t> keys;
+  std::vector<Ref> vals;
+  util::guarded_grow(util::fault::Site::kAigNodeAlloc,
+                     cap * (sizeof(std::uint64_t) + sizeof(Ref)), [&] {
+                       keys.assign(cap, 0);
+                       vals.assign(cap, 0);
+                     });
   const std::size_t mask = cap - 1;
   for (std::size_t i = 0; i < strash_keys_.size(); ++i) {
     const std::uint64_t key = strash_keys_[i];
@@ -71,6 +90,7 @@ Ref Aig::make_and(Ref a, Ref b) {
     if (strash_keys_[slot] == key) return strash_vals_[slot];
     slot = (slot + 1) & mask;
   }
+  reserve_node_slot();
   const auto index = static_cast<std::uint32_t>(nodes_.size());
   Node n;
   n.fanin0 = a;

@@ -104,6 +104,9 @@ class Aig {
  private:
   Ref make_and(Ref a, Ref b);
   void strash_grow();
+  /// Node-table capacity growth through the instrumented
+  /// aig.node.alloc hazard point (budget charging + fault injection).
+  void reserve_node_slot();
 
   std::vector<Node> nodes_;
   // Structural-hash table, open addressing with linear probing: the key

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/budget.hpp"
 #include "util/simd.hpp"
 
 namespace manthan::cnf {
@@ -39,7 +40,15 @@ void SampleMatrix::grow_words(std::size_t words) {
   // is 64-byte aligned, so every column pointer stays aligned as well.
   std::size_t cap = words_cap_ == 0 ? 8 : words_cap_;
   while (cap < words) cap *= 2;
-  util::simd::AlignedVector<std::uint64_t> grown(num_vars_ * cap, 0);
+  // Matrix growth is an instrumented hazard point: the byte delta is
+  // charged to the thread's ResourceBudget and a (real or injected)
+  // bad_alloc becomes OutOfBudgetError instead of process death.
+  util::simd::AlignedVector<std::uint64_t> grown;
+  util::guarded_grow(
+      util::fault::Site::kSampleMatrixGrow,
+      num_vars_ * (cap - words_cap_) * sizeof(std::uint64_t), [&] {
+        grown = util::simd::AlignedVector<std::uint64_t>(num_vars_ * cap, 0);
+      });
   for (std::size_t v = 0; v < num_vars_; ++v) {
     const std::uint64_t* src = data_.data() + v * words_cap_;
     std::uint64_t* dst = grown.data() + v * cap;

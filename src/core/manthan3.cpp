@@ -20,6 +20,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sat/solver.hpp"
+#include "util/budget.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/scheduler.hpp"
@@ -80,6 +82,10 @@ Manthan3::Manthan3(Manthan3Options options) : options_(options) {}
 SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
                                      aig::Aig& manager) {
   util::Timer total_timer;
+  // Chaos-testing hook: replay a deterministic fault schedule for this
+  // run. Counters reset here, so the schedule indexes polls from the
+  // start of synthesize().
+  if (!options_.fault_spec.empty()) util::fault::install(options_.fault_spec);
   const util::Deadline deadline(options_.time_limit_seconds, options_.cancel);
   // Telemetry only: spans tag every phase of this run with the caller's
   // trace id (the service passes the spec fingerprint). When tracing is
@@ -179,6 +185,14 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     aig_peak.update_max(static_cast<double>(stats.aig_bytes));
     return result;
   };
+
+  // The whole pipeline below runs inside one try: an OutOfBudgetError
+  // thrown by any instrumented growth site (memory budget exceeded, real
+  // or injected allocation failure) unwinds to the catch at the end of
+  // this function and degrades into a kOutOfBudget result carrying the
+  // stats accumulated so far — never process death. The body keeps the
+  // function's base indentation; the catch is ~700 lines down.
+  try {
 
   if (!phi_solver.add_formula(matrix)) {
     // The matrix is unsatisfiable: no X-assignment extends, so the DQBF
@@ -389,9 +403,16 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
       if (!learn_pool.has_value()) learn_pool.emplace(learn_workers);
       std::vector<std::future<dtree::DecisionTree>> futures;
       futures.reserve(fit_jobs.size());
+      // The request budget is thread-local; re-install it inside each
+      // worker closure so fits charge the same budget as the main thread
+      // (an OutOfBudgetError rethrows from the future below).
+      util::ResourceBudget* budget = util::current_budget();
       for (const std::size_t i : fit_jobs) {
-        futures.push_back(learn_pool->submit(
-            [&fit_one, i, generation]() { return fit_one(i, generation); }));
+        futures.push_back(
+            learn_pool->submit([&fit_one, i, generation, budget]() {
+              util::BudgetScope scope(budget);
+              return fit_one(i, generation);
+            }));
       }
       for (std::size_t k = 0; k < fit_jobs.size(); ++k) {
         trees[fit_jobs[k]] = futures[k].get();
@@ -478,8 +499,8 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     if (!maintain_solvers || stats.counterexamples < next_maintenance) return;
     next_maintenance = stats.counterexamples + options_.inprocess_interval;
     obs::Span span("inprocess", "phase", trace_id);
-    verifier->maintain();
-    repair_maxsat.maintain();
+    verifier->maintain(options_.cancel);
+    repair_maxsat.maintain(options_.cancel);
   };
 
   // Cross-round sample reuse, refit side: batch-evaluate live candidates
@@ -865,6 +886,10 @@ SynthesisResult Manthan3::synthesize(const dqbf::DqbfFormula& formula,
     } else {
       no_progress_rounds = 0;
     }
+  }
+
+  } catch (const util::OutOfBudgetError&) {
+    return finish(SynthesisStatus::kOutOfBudget);
   }
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -124,6 +125,13 @@ struct Manthan3Options {
   /// of concurrent requests can be told apart; 0 = untagged. Telemetry
   /// only — never feeds the derive_seed streams.
   std::uint64_t trace_id = 0;
+  /// Fault-injection schedule (util/fault.hpp spec grammar) installed
+  /// into the process-global injector at the start of synthesize(),
+  /// resetting its poll counters — so a single run replays the schedule
+  /// deterministically. Empty = leave the injector alone (it may still be
+  /// active via fault::install() or MANTHAN_FAULTS). Chaos testing only;
+  /// concurrent runs share the one global injector.
+  std::string fault_spec;
 };
 
 enum class SynthesisStatus {
@@ -132,6 +140,10 @@ enum class SynthesisStatus {
   kIncomplete,    // engine's documented incompleteness: repair got stuck
   kLimit,         // iteration limits exhausted
   kTimeout,       // wall-clock budget exhausted
+  kOutOfBudget,   // per-request ResourceBudget tripped (memory/conflicts/
+                  // wall time/alloc failure); stats are truncated but valid
+  kInternalError, // unexpected exception surfaced by the service layer;
+                  // never produced by the engines themselves
 };
 
 struct SynthesisStats {

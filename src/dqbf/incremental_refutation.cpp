@@ -89,11 +89,14 @@ sat::Result IncrementalRefutation::check(const HenkinVector& candidate) {
   return solver_.solve(assumptions_);
 }
 
-void IncrementalRefutation::maintain() {
+void IncrementalRefutation::maintain(const util::CancelToken* cancel) {
   ++stats_.maintenance_runs;
+  sat::InprocessOptions options;
+  options.cancel = cancel;
   // UNSAT here means the current guard set refutes at the root — check()
   // will report it; maintenance itself has nothing more to do.
-  if (!solver_.inprocess()) return;
+  if (!solver_.inprocess(options)) return;
+  if (cancel != nullptr && cancel->cancelled()) return;
   solver_.compact();
 }
 

@@ -71,8 +71,10 @@ class IncrementalRefutation {
   /// Matrix variables are frozen at construction, guard variables are
   /// protected by the solver itself, and retired guards / dead Tseitin
   /// cone variables are reclaimed — daemon-length runs stop leaking
-  /// variable ids. Call between check() rounds only.
-  void maintain();
+  /// variable ids. Call between check() rounds only. `cancel` (nullable)
+  /// is polled between per-item inprocessing steps: a cancelled token
+  /// skips the remaining simplification work, leaving a sound database.
+  void maintain(const util::CancelToken* cancel = nullptr);
 
   const Stats& stats() const;
 

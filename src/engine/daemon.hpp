@@ -21,6 +21,20 @@
 // Malformed requests (unparsable DQDIMACS) are counted as failed and get
 // an error-result file — a poisoned request must not wedge the queue by
 // being retried forever.
+//
+// Crash/fault hardening (when `journal` is on): before a request is
+// executed, a write-ahead intent record `journal/<name>.journal` is
+// written with the attempt count. A transient failure (worker internal
+// error, result-write failure, injected daemon I/O fault) leaves the
+// journal in place with an exponential-backoff-with-jitter retry time, so
+// later drains re-run the request after the backoff; once max_attempts
+// executions have started without producing a result — including
+// crash-loops, where the journal survives the process — the request file
+// is moved to `failed/<name>` with an `<name>.error.json` beside it and
+// never retried again (quarantine). Graceful cancellation restores the
+// previous attempt count: an interrupt is not a failure. Successful
+// results remove the journal, so a daemon killed between journal write
+// and result write re-runs the interrupted request exactly once.
 #pragma once
 
 #include <cstddef>
@@ -47,6 +61,18 @@ struct DaemonOptions {
   bool use_cache = true;
   /// Embed the certified functions as BLIF in the result JSON.
   bool write_certificates = true;
+
+  /// Maximum executions per request before it is quarantined to
+  /// `failed/` (counted across daemon restarts via the journal).
+  std::size_t max_attempts = 3;
+  /// Exponential retry backoff: attempt k waits about
+  /// retry_base_ms * 2^(k-1), capped at retry_max_ms, scaled by a
+  /// deterministic per-(request, attempt) jitter in [0.5, 1.0].
+  double retry_base_ms = 200.0;
+  double retry_max_ms = 60000.0;
+  /// Write-ahead intent journal + retry/quarantine bookkeeping. Off =
+  /// PR-9 behavior (transient failures re-run forever, no quarantine).
+  bool journal = true;
 };
 
 /// Per-request drain outcome.
@@ -60,6 +86,16 @@ struct RequestRecord {
   bool malformed = false;
   /// Stopped by the stop token / service shutdown before a verdict.
   bool cancelled = false;
+  /// Transient failure this drain; journaled for a backed-off re-run.
+  bool retried = false;
+  /// Moved to failed/ after exhausting max_attempts.
+  bool quarantined = false;
+  /// Journaled retry time still in the future; skipped this drain.
+  bool deferred = false;
+  /// The service reported kInternalError for this execution.
+  bool internal_error = false;
+  /// Executions started (journal count including this drain's, if any).
+  std::size_t attempts = 0;
   double seconds = 0.0;
 };
 
@@ -69,6 +105,9 @@ struct DrainReport {
   std::size_t cache_hits = 0;
   std::size_t failed = 0;   // malformed requests
   std::size_t skipped = 0;  // result file already present
+  std::size_t retried = 0;      // transient failures journaled for re-run
+  std::size_t quarantined = 0;  // requests moved to failed/
+  std::size_t deferred = 0;     // backoff not yet elapsed
   /// The drain ended early (stop token, shutdown, or max_requests).
   bool stopped = false;
   std::vector<RequestRecord> records;

@@ -21,8 +21,30 @@ const char* status_name(core::SynthesisStatus status) {
     case core::SynthesisStatus::kIncomplete: return "incomplete";
     case core::SynthesisStatus::kLimit: return "limit";
     case core::SynthesisStatus::kTimeout: return "timeout";
+    case core::SynthesisStatus::kOutOfBudget: return "out_of_budget";
+    case core::SynthesisStatus::kInternalError: return "internal_error";
   }
   return "?";
+}
+
+std::optional<core::SynthesisStatus> status_from_name(
+    const std::string& name) {
+  for (const auto status :
+       {core::SynthesisStatus::kRealizable, core::SynthesisStatus::kUnrealizable,
+        core::SynthesisStatus::kIncomplete, core::SynthesisStatus::kLimit,
+        core::SynthesisStatus::kTimeout, core::SynthesisStatus::kOutOfBudget,
+        core::SynthesisStatus::kInternalError}) {
+    if (name == status_name(status)) return status;
+  }
+  return std::nullopt;
+}
+
+std::optional<EngineKind> engine_from_name(const std::string& name) {
+  for (const auto kind : {EngineKind::kManthan3, EngineKind::kHqsLite,
+                          EngineKind::kPedantLite}) {
+    if (name == engine_name(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 core::SynthesisResult run_engine(const dqbf::DqbfFormula& formula,

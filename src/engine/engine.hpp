@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "aig/aig.hpp"
 #include "core/manthan3.hpp"
@@ -23,6 +25,10 @@ enum class EngineKind { kManthan3, kHqsLite, kPedantLite };
 
 const char* engine_name(EngineKind kind);
 const char* status_name(core::SynthesisStatus status);
+/// Inverse lookups, used by the persisted-cache decoder; nullopt for
+/// unrecognized names (a corrupt or future-format entry).
+std::optional<core::SynthesisStatus> status_from_name(const std::string& name);
+std::optional<EngineKind> engine_from_name(const std::string& name);
 
 /// Budget, stream identity, and knobs for one engine run.
 struct EngineOptions {

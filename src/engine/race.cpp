@@ -8,6 +8,7 @@
 #include "dqbf/certificate.hpp"
 #include "engine/scheduler.hpp"
 #include "obs/trace.hpp"
+#include "util/budget.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -39,6 +40,9 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
         // so a trace shows them racing side by side across threads.
         obs::Span lane_span("race.lane", "service",
                             options.manthan3.trace_id);
+        // The budget is thread-local; each lane re-installs it so its
+        // growth sites charge the shared request budget.
+        util::BudgetScope budget_scope(options.budget);
         util::Timer timer;
         EngineOptions engine_options;
         engine_options.time_limit_seconds = options.time_limit_seconds;
@@ -48,8 +52,15 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
         engine_options.cancel = &cancel;
         engine_options.manthan3 = options.manthan3;
         managers[i] = std::make_unique<aig::Aig>();
-        core::SynthesisResult result = run_engine(
-            formula, *managers[i], options.contenders[i], engine_options);
+        core::SynthesisResult result;
+        try {
+          result = run_engine(formula, *managers[i], options.contenders[i],
+                              engine_options);
+        } catch (const util::OutOfBudgetError&) {
+          // Baseline engines don't catch budget trips themselves
+          // (Manthan3 does); a tripped lane is a finished lane.
+          result.status = core::SynthesisStatus::kOutOfBudget;
+        }
 
         RaceLane& lane = outcome.lanes[i];
         lane.engine = options.contenders[i];
@@ -104,14 +115,18 @@ RaceOutcome race(const dqbf::DqbfFormula& formula, aig::Aig& manager,
 
   // No definitive lane: summarize the failure mode. Incompleteness
   // dominates (a budget would not have helped), then iteration limits,
-  // then genuine timeouts; an uncertified kRealizable claim counts as
-  // incompleteness (the engine finished but produced an invalid vector).
+  // then resource-budget trips, then genuine timeouts; an uncertified
+  // kRealizable claim counts as incompleteness (the engine finished but
+  // produced an invalid vector). Internal errors rank last — any other
+  // lane's outcome is more informative.
   const auto rank = [](core::SynthesisStatus s) {
     switch (s) {
       case core::SynthesisStatus::kIncomplete: return 0;
       case core::SynthesisStatus::kRealizable: return 0;  // uncertified
       case core::SynthesisStatus::kLimit: return 1;
-      default: return 2;  // kTimeout
+      case core::SynthesisStatus::kOutOfBudget: return 2;
+      case core::SynthesisStatus::kInternalError: return 4;
+      default: return 3;  // kTimeout
     }
   };
   outcome.status = core::SynthesisStatus::kTimeout;

@@ -24,6 +24,7 @@
 #include "core/manthan3.hpp"
 #include "dqbf/dqbf.hpp"
 #include "engine/engine.hpp"
+#include "util/budget.hpp"
 #include "util/cancel.hpp"
 
 namespace manthan::engine {
@@ -42,6 +43,12 @@ struct RaceOptions {
   /// lane stops at its next poll when either fires. Null = the race can
   /// only be ended by a winner or the time budget. Must outlive race().
   const util::CancelToken* cancel = nullptr;
+  /// Per-request resource budget shared by all lanes (the budget's token
+  /// should additionally be composed into `cancel` by the caller). Each
+  /// lane installs it as its thread's growth-site budget, so a race
+  /// charges memory/conflicts the same way a single-engine run does.
+  /// Null = unbudgeted. Must outlive race().
+  util::ResourceBudget* budget = nullptr;
 };
 
 /// Outcome of one contender.

@@ -50,12 +50,16 @@
 // futures outside the pool.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -68,6 +72,7 @@
 #include "engine/engine.hpp"
 #include "engine/race.hpp"
 #include "engine/scheduler.hpp"
+#include "util/budget.hpp"
 #include "util/cancel.hpp"
 
 namespace manthan::engine {
@@ -107,6 +112,20 @@ struct ServiceOptions {
   /// (only requests without a per-request cancel token coalesce — a
   /// token must never cancel a stranger's request).
   bool coalesce = true;
+
+  /// Default per-request resource budget (growth-site heap bytes, wall
+  /// seconds enforced by the service watchdog, SAT conflicts). All-zero =
+  /// unlimited; SolveOptions::budget overrides per request. A tripped
+  /// budget yields kOutOfBudget with truncated-but-valid stats — it is a
+  /// final answer, never marked cancelled and never retried by daemons.
+  util::ResourceBudget::Limits default_budget;
+  /// Poll interval of the wall-clock budget watchdog thread.
+  std::uint32_t watchdog_poll_ms = 10;
+  /// Directory for the crash-durable tier-1 cache: one text file per
+  /// definitive entry (header + AIGER payload, see README). Entries are
+  /// reloaded at construction — corrupt or truncated files are skipped,
+  /// never fatal — and deleted on LRU eviction. Empty = in-memory only.
+  std::string cache_dir;
 };
 
 /// Per-request knobs for submit()/solve().
@@ -122,6 +141,8 @@ struct SolveOptions {
   std::optional<EngineKind> engine;
   /// Consult and populate the tier-1 cache for this request.
   bool use_cache = true;
+  /// Per-request resource budget; unset = the service default.
+  std::optional<util::ResourceBudget::Limits> budget;
 };
 
 /// Certified Henkin functions serialized as a private immutable AIG —
@@ -167,6 +188,10 @@ struct ServiceResponse {
   /// Stats of the run that produced the result (the winning lane's for
   /// races; preserved verbatim on cache hits).
   core::SynthesisStats stats;
+  /// Which budget limit tripped (set for kOutOfBudget, kNone otherwise).
+  util::ResourceBudget::Trip budget_trip = util::ResourceBudget::Trip::kNone;
+  /// Worker-caught exception text (set for kInternalError only).
+  std::string error;
   /// Non-null iff solved(): the certified functions, importable into any
   /// manager. Shared with the cache — do not mutate through it.
   std::shared_ptr<const ResultCone> functions;
@@ -199,6 +224,10 @@ struct ServiceStats {
   std::size_t cancelled = 0;       // jobs stopped by a token
   std::size_t cache_entries = 0;   // current tier-1 size
   std::size_t cache_evictions = 0;
+  std::size_t internal_errors = 0;  // worker-caught exceptions
+  std::size_t budget_trips = 0;     // jobs ended kOutOfBudget
+  std::size_t persisted_entries = 0;  // tier-1 entries with a cache file
+  std::size_t persisted_corrupt = 0;  // cache files skipped at load
   /// Tier-2 counters (all zeros when the analysis cache is disabled).
   core::AnalysisCache::Stats analysis;
 };
@@ -258,7 +287,56 @@ class Service {
   struct Job;
 
   ServiceResponse run_job(const std::shared_ptr<Job>& job);
-  void cache_store(const CacheKey& key, const ServiceResponse& response);
+  /// Structured response for a worker-caught exception: the job consumed
+  /// a worker but the engines never returned (injected fault, unexpected
+  /// throw). Completes coalesced waiters like any other outcome.
+  ServiceResponse internal_error_response(const std::shared_ptr<Job>& job,
+                                          const char* what);
+  void cache_store(const CacheKey& key, const ServiceResponse& response,
+                   bool persist);
+
+  // --- crash-durable tier-1 cache (service_persist.cpp) -----------------
+  struct PersistedEntry {
+    CacheKey key;
+    ServiceResponse response;
+  };
+  static std::string persist_filename(const CacheKey& key);
+  static std::string encode_persisted(const CacheKey& key,
+                                      const ServiceResponse& response);
+  /// Parse one cache file; nullopt on any corruption (bad magic, missing
+  /// field, malformed AIGER, root-count mismatch).
+  static std::optional<PersistedEntry> decode_persisted(
+      const std::string& text);
+  /// Constructor-time reload, ordered by filename for determinism.
+  void load_persisted_cache();
+  // Both called with mutex_ held; file I/O under the lock is accepted —
+  // entries are small and stores are rare (one per definitive cold solve).
+  void persist_store(const CacheKey& key, const ServiceResponse& response);
+  void persist_remove(const CacheKey& key);
+
+  // --- wall-clock budget watchdog ---------------------------------------
+  /// One lazily-started thread trips ResourceBudget::Trip::kTime on every
+  /// registered budget whose deadline passed. Declared before pool_ so
+  /// the workers (which add/remove entries) drain first; the thread is
+  /// joined afterwards by ~Watchdog.
+  struct Watchdog {
+    std::uint32_t poll_ms = 10;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stop = false;
+    std::uint64_t next_id = 1;
+    struct Entry {
+      util::ResourceBudget* budget;
+      std::chrono::steady_clock::time_point deadline;
+    };
+    std::unordered_map<std::uint64_t, Entry> active;
+    std::thread thread;
+
+    std::uint64_t add(util::ResourceBudget* budget, double wall_seconds);
+    void remove(std::uint64_t id);
+    void run();
+    ~Watchdog();
+  };
 
   ServiceOptions options_;
   util::CancelToken shutdown_;
@@ -282,8 +360,11 @@ class Service {
   std::unordered_set<CacheKey, CacheKeyHasher> coalesced_keys_;
   ServiceStats stats_;
   std::size_t queued_ = 0;  // submitted, not yet started on a worker
+  std::size_t persisted_entries_ = 0;  // guarded by mutex_
+  std::size_t persisted_corrupt_ = 0;  // guarded by mutex_
 
-  Scheduler pool_;  // last member: drains before the maps die
+  Watchdog watchdog_;  // before pool_: outlives every job
+  Scheduler pool_;     // last member: drains before the maps die
 };
 
 }  // namespace manthan::engine

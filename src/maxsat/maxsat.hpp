@@ -77,7 +77,9 @@ class IncrementalMaxSat {
   /// compact away as free drops and revive on demand; the owner is
   /// responsible for freezing its own interface variables (the engine
   /// freezes the matrix block). Call between solve_round()s only.
-  void maintain();
+  /// `cancel` (nullable) is polled between per-item inprocessing steps: a
+  /// cancelled token skips the remaining simplification work.
+  void maintain(const util::CancelToken* cancel = nullptr);
 
   /// The optimal assignment (the borrowed solver's full model at the
   /// optimum, so it includes solver-internal selector variables above the

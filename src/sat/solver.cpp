@@ -8,6 +8,8 @@
 
 #include "obs/memory.hpp"
 #include "obs/metrics.hpp"
+#include "util/budget.hpp"
+#include "util/fault.hpp"
 
 namespace manthan::sat {
 
@@ -281,6 +283,18 @@ bool Solver::add_formula(const CnfFormula& formula) {
 Solver::ClauseRef Solver::attach_new_clause(const std::vector<Lit>& lits,
                                             bool learnt, std::uint32_t lbd) {
   assert(lits.size() >= 2);
+  // Arena capacity growth is an instrumented hazard point: the capacity
+  // delta is charged to the thread's ResourceBudget and a (real or
+  // injected) bad_alloc becomes OutOfBudgetError instead of process death.
+  const std::size_t words = 1 + (learnt ? 2u : 0u) + lits.size();
+  if (arena_.size() + words > arena_.capacity()) {
+    const std::size_t new_cap =
+        std::max(arena_.capacity() * 2,
+                 std::max<std::size_t>(arena_.size() + words, 1024));
+    util::guarded_grow(util::fault::Site::kSatArenaGrow,
+                       (new_cap - arena_.capacity()) * sizeof(std::uint32_t),
+                       [&] { arena_.reserve(new_cap); });
+  }
   const ClauseRef cref = static_cast<ClauseRef>(arena_.size());
   arena_.push_back((static_cast<std::uint32_t>(lits.size()) << kSizeShift) |
                    (learnt ? kLearntBit : 0u));
@@ -1097,6 +1111,16 @@ bool Solver::rebuild_clause(ClauseRef cref, std::vector<Lit>& lits) {
   return true;
 }
 
+bool Solver::inprocess_should_stop(const InprocessOptions& options) {
+  if (inprocess_stopped_) return true;
+  if (util::fault::poll(util::fault::Site::kSatInprocessStep) ==
+          util::fault::Kind::kCancel ||
+      (options.cancel != nullptr && options.cancel->cancelled())) {
+    inprocess_stopped_ = true;
+  }
+  return inprocess_stopped_;
+}
+
 bool Solver::subsumption_pass(const InprocessOptions& options) {
   // Every unguarded problem clause is processed once as the subsuming
   // side; strengthened clauses re-enter the queue. Occurrence lists are
@@ -1112,6 +1136,7 @@ bool Solver::subsumption_pass(const InprocessOptions& options) {
   std::vector<Lit> strengthened;
   for (std::size_t qi = 0; qi < queue.size(); ++qi) {
     if (!ok_) return false;
+    if (inprocess_should_stop(options)) break;
     const ClauseRef c = queue[qi];
     if (clause_removed(c)) continue;
     const std::uint32_t size = clause_size(c);
@@ -1211,6 +1236,7 @@ bool Solver::eliminate_pass(const InprocessOptions& options) {
   for (const auto& [occ_count, v] : cands) {
     (void)occ_count;
     if (!ok_) return false;
+    if (inprocess_should_stop(options)) break;
     if (value(v) != LBool::kUndef) continue;  // fixed by an in-pass unit
     const Lit vp = cnf::pos(v);
     const Lit vn = cnf::neg(v);
@@ -1372,6 +1398,7 @@ bool Solver::vivify_pass(const InprocessOptions& options) {
   for (const ClauseRef cref : problem_clauses_) {
     if (!ok_) return false;
     if (stats_.propagations >= budget_end) break;
+    if (inprocess_should_stop(options)) break;
     if (clause_removed(cref) || is_guarded_record(cref)) continue;
     const std::uint32_t size = clause_size(cref);
     if (size < 3) continue;
@@ -1428,6 +1455,7 @@ bool Solver::inprocess(const InprocessOptions& options) {
   assert(decision_level() == 0);
   if (!ok_) return false;
   ++stats_.inprocess_runs;
+  inprocess_stopped_ = false;
   if (!simplify_root()) return false;
   lit_mark_.assign(2 * static_cast<std::size_t>(internal_vars()), 0);
   build_occ_lists();
@@ -1435,12 +1463,14 @@ bool Solver::inprocess(const InprocessOptions& options) {
     const std::size_t trail_before = trail_.size();
     if (options.subsume && !subsumption_pass(options)) return false;
     if (options.eliminate && !eliminate_pass(options)) return false;
-    if (trail_.size() == trail_before) break;
+    if (inprocess_stopped_ || trail_.size() == trail_before) break;
     // New root units: re-clean the database and run another round.
     if (!simplify_root()) return false;
     build_occ_lists();
   }
-  if (options.vivify && !vivify_pass(options)) return false;
+  if (!inprocess_stopped_ && options.vivify && !vivify_pass(options)) {
+    return false;
+  }
   // In-pass propagation recorded clause reasons for new root facts;
   // clear them (root reasons are never traversed) so records removed
   // above can never dangle as reasons at the next GC.
@@ -1629,7 +1659,16 @@ Result Solver::solve_entry(const std::vector<Lit>& assumptions,
     }
     use = &assump_tmp_;
   }
-  const Result result = search_loop(*use, deadline, sink);
+  Result result;
+  try {
+    result = search_loop(*use, deadline, sink);
+  } catch (...) {
+    // OutOfBudgetError from arena growth unwinds mid-search; restore the
+    // root level so the solver object stays consistent for callers that
+    // catch and keep going.
+    cancel_until(0);
+    throw;
+  }
   if (result == Result::kUnsat && !remap_.identity()) {
     for (Lit& l : core_) l = remap_.to_external(l);
   }
@@ -1672,6 +1711,14 @@ Result Solver::search_loop(const std::vector<Lit>& assumptions,
           stats_.decisions + stats_.propagations >= next_deadline_poll) {
         next_deadline_poll =
             stats_.decisions + stats_.propagations + kDeadlinePollInterval;
+        // Report conflicts to the request budget at the same cadence; a
+        // conflict-limit trip cancels the budget token, which the
+        // composed deadline observes right below.
+        if (util::ResourceBudget* budget = util::current_budget()) {
+          budget->add_conflicts(stats_.conflicts -
+                                budget_conflicts_reported_);
+          budget_conflicts_reported_ = stats_.conflicts;
+        }
         if (deadline->expired()) {
           cancel_until(0);
           return Result::kUnknown;

@@ -84,6 +84,7 @@
 
 #include "cnf/cnf.hpp"
 #include "sat/remapper.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -137,6 +138,12 @@ struct InprocessOptions {
   /// Maximum simplification rounds (a strengthening that produces new
   /// units triggers another round).
   std::uint32_t max_rounds = 3;
+  /// Cooperative stop, polled between per-item steps of every pass
+  /// (subsumption pivots, elimination candidates, vivification clauses).
+  /// When cancelled the remaining work is skipped — sound, because the
+  /// clause database is valid after any prefix of simplifications — and
+  /// inprocess() still returns true. Null = not cancellable.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct SolverStats {
@@ -508,6 +515,9 @@ class Solver {
   bool subsumption_pass(const InprocessOptions& options);
   bool eliminate_pass(const InprocessOptions& options);
   bool vivify_pass(const InprocessOptions& options);
+  /// Sticky per-inprocess() cancellation poll (options.cancel + the
+  /// sat.inprocess.step fault site); passes break at item boundaries.
+  bool inprocess_should_stop(const InprocessOptions& options);
   /// Occurrence lists over unguarded problem clauses, rebuilt per
   /// inprocess() call; entries are lazily stale (membership re-verified).
   void build_occ_lists();
@@ -558,6 +568,11 @@ class Solver {
   std::vector<std::uint32_t> arena_;
   /// Words occupied by removed (marked) clause records; drives the GC.
   std::size_t wasted_ = 0;
+  /// Sticky stop flag for the current inprocess() call.
+  bool inprocess_stopped_ = false;
+  /// Conflicts already reported to the thread's ResourceBudget (charged
+  /// as deltas at the deadline-poll cadence).
+  std::uint64_t budget_conflicts_reported_ = 0;
   std::vector<ClauseRef> problem_clauses_;
   std::vector<ClauseRef> learnt_clauses_;
   /// Guarded clause records by activation variable; a GC root. Entries

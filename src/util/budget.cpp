@@ -1,0 +1,34 @@
+#include "util/budget.hpp"
+
+namespace manthan::util {
+
+namespace {
+thread_local ResourceBudget* t_current_budget = nullptr;
+}  // namespace
+
+const char* ResourceBudget::trip_name(Trip trip) {
+  switch (trip) {
+    case Trip::kNone:
+      return "none";
+    case Trip::kMemory:
+      return "memory";
+    case Trip::kTime:
+      return "time";
+    case Trip::kConflicts:
+      return "conflicts";
+    case Trip::kAllocFailure:
+      return "alloc_failure";
+  }
+  return "invalid";
+}
+
+ResourceBudget* current_budget() { return t_current_budget; }
+
+BudgetScope::BudgetScope(ResourceBudget* budget)
+    : previous_(t_current_budget) {
+  t_current_budget = budget;
+}
+
+BudgetScope::~BudgetScope() { t_current_budget = previous_; }
+
+}  // namespace manthan::util

@@ -1,0 +1,171 @@
+// Per-request resource budgets with graceful out-of-budget degradation.
+//
+// A ResourceBudget bounds one synthesis request along three axes — heap
+// bytes at the instrumented growth sites (the PR-8 byte accounting),
+// wall-clock time (enforced by the service watchdog), and SAT conflicts —
+// and owns a CancelToken that trips when any limit is exceeded. The
+// polling layers already observe that token through the Deadline chain,
+// so a tripped budget unwinds through the normal cancellation path and
+// the engine returns truncated-but-valid stats instead of dying.
+//
+// Memory charging is cooperative and cumulative: each instrumented growth
+// site (SAT clause arena, SampleMatrix, AIG node table) charges its
+// capacity delta through the thread-local current_budget() before
+// allocating. Charges are monotonic for a given workload, so the trip
+// point is deterministic. A real (or fault-injected) std::bad_alloc at a
+// guarded site is converted into OutOfBudgetError — budget-exceeded
+// cancellation instead of process death.
+//
+// BudgetScope installs a budget for the current thread (RAII, nestable).
+// Worker fan-out must re-install the scope inside each job closure; the
+// scope is thread-local precisely so concurrent requests on a shared
+// scheduler charge their own budgets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/cancel.hpp"
+#include "util/fault.hpp"
+
+namespace manthan::util {
+
+class ResourceBudget {
+ public:
+  struct Limits {
+    std::uint64_t memory_bytes = 0;  // 0 = unlimited
+    double wall_seconds = 0.0;       // 0 = unlimited (watchdog-enforced)
+    std::uint64_t conflicts = 0;     // 0 = unlimited
+    bool any() const {
+      return memory_bytes != 0 || wall_seconds > 0.0 || conflicts != 0;
+    }
+  };
+
+  enum class Trip : std::uint8_t {
+    kNone,
+    kMemory,        // cumulative growth-site bytes exceeded memory_bytes
+    kTime,          // watchdog observed wall_seconds exceeded
+    kConflicts,     // SAT conflicts exceeded the conflict limit
+    kAllocFailure,  // std::bad_alloc at an instrumented growth site
+  };
+  static const char* trip_name(Trip trip);
+
+  ResourceBudget() = default;
+  explicit ResourceBudget(const Limits& limits) : limits_(limits) {}
+
+  /// Charge `delta` bytes of growth. Returns false (and trips) once the
+  /// memory limit is exceeded or the budget already tripped.
+  bool charge_bytes(std::uint64_t delta) {
+    std::uint64_t total =
+        bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (limits_.memory_bytes != 0 && total > limits_.memory_bytes) {
+      trip(Trip::kMemory);
+    }
+    return tripped() == Trip::kNone;
+  }
+
+  /// Add observed SAT conflicts. Returns false once over the limit.
+  bool add_conflicts(std::uint64_t delta) {
+    std::uint64_t total =
+        conflicts_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (limits_.conflicts != 0 && total > limits_.conflicts) {
+      trip(Trip::kConflicts);
+    }
+    return tripped() == Trip::kNone;
+  }
+
+  /// Record a trip; the first cause wins, later calls are no-ops. Always
+  /// cancels the token so pollers unwind.
+  void trip(Trip cause) {
+    std::uint8_t expected = 0;
+    trip_.compare_exchange_strong(expected, static_cast<std::uint8_t>(cause),
+                                  std::memory_order_relaxed);
+    token_.cancel();
+  }
+
+  Trip tripped() const {
+    return static_cast<Trip>(trip_.load(std::memory_order_relaxed));
+  }
+
+  std::uint64_t charged_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t conflicts() const {
+    return conflicts_.load(std::memory_order_relaxed);
+  }
+  const Limits& limits() const { return limits_; }
+
+  /// Tripped-budget cancellation, composable under AnyOfCancelToken.
+  const CancelToken& token() const { return token_; }
+
+ private:
+  Limits limits_;
+  CancelToken token_;
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> conflicts_{0};
+  std::atomic<std::uint8_t> trip_{0};
+};
+
+/// Thrown by instrumented growth sites when the active budget's memory
+/// limit is exceeded or an allocation fails under a budget. Deliberately
+/// NOT derived from std::bad_alloc: the growth-site guards convert
+/// bad_alloc into this type exactly once, and engines catch it to return
+/// kOutOfBudget.
+class OutOfBudgetError : public std::runtime_error {
+ public:
+  OutOfBudgetError(ResourceBudget::Trip cause, const char* site)
+      : std::runtime_error(std::string("resource budget exceeded (") +
+                           ResourceBudget::trip_name(cause) + ") at " + site),
+        cause_(cause) {}
+
+  ResourceBudget::Trip cause() const { return cause_; }
+
+ private:
+  ResourceBudget::Trip cause_;
+};
+
+/// The budget charged by growth sites on this thread, or null.
+ResourceBudget* current_budget();
+
+/// RAII thread-local budget installation. Nesting restores the previous
+/// budget on destruction; installing null clears the budget within the
+/// scope (a request without a budget must not charge a neighbour's).
+class BudgetScope {
+ public:
+  explicit BudgetScope(ResourceBudget* budget);
+  ~BudgetScope();
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+ private:
+  ResourceBudget* previous_;
+};
+
+/// Growth-site guard: charge `bytes` against the thread's budget, poll
+/// the fault site, then run the allocation. Throws OutOfBudgetError when
+/// the budget is exhausted or when the allocation (real or fault-injected)
+/// fails — bad_alloc is converted unconditionally, so an OOM at a guarded
+/// site degrades into a kOutOfBudget result instead of process death even
+/// for unbudgeted runs.
+template <typename Alloc>
+void guarded_grow(fault::Site site, std::uint64_t bytes, Alloc&& alloc) {
+  ResourceBudget* budget = current_budget();
+  if (budget != nullptr && !budget->charge_bytes(bytes)) {
+    throw OutOfBudgetError(ResourceBudget::Trip::kMemory,
+                           fault::site_name(site));
+  }
+  try {
+    fault::on_alloc_site(site);
+    alloc();
+  } catch (const std::bad_alloc&) {
+    if (budget != nullptr) {
+      budget->trip(ResourceBudget::Trip::kAllocFailure);
+    }
+    throw OutOfBudgetError(ResourceBudget::Trip::kAllocFailure,
+                           fault::site_name(site));
+  }
+}
+
+}  // namespace manthan::util

@@ -54,18 +54,21 @@ class CancelToken {
 class AnyOfCancelToken final : public CancelToken {
  public:
   explicit AnyOfCancelToken(const CancelToken* a = nullptr,
-                            const CancelToken* b = nullptr)
-      : parent_a_(a), parent_b_(b) {}
+                            const CancelToken* b = nullptr,
+                            const CancelToken* c = nullptr)
+      : parent_a_(a), parent_b_(b), parent_c_(c) {}
 
   bool cancelled() const override {
     return CancelToken::cancelled() ||
            (parent_a_ != nullptr && parent_a_->cancelled()) ||
-           (parent_b_ != nullptr && parent_b_->cancelled());
+           (parent_b_ != nullptr && parent_b_->cancelled()) ||
+           (parent_c_ != nullptr && parent_c_->cancelled());
   }
 
  private:
   const CancelToken* parent_a_;
   const CancelToken* parent_b_;
+  const CancelToken* parent_c_;
 };
 
 }  // namespace manthan::util

@@ -339,6 +339,64 @@ TEST(SolverCancel, TokenComposedIntoDeadlineStopsSolve) {
   EXPECT_NE(s.solve({}, fresh), Result::kUnknown);
 }
 
+TEST(SolverCancel, TokenCancelledMidEnumerationStopsSession) {
+  // Cancel the token from inside the sink, mid-session: the enumeration
+  // must stop with kUnknown at the next poll instead of descending
+  // forever, and the models already harvested stay delivered.
+  util::Rng rng(11);
+  Solver s;
+  const CnfFormula f = random_cnf({30, 60, 3}, rng);
+  if (!s.add_formula(f)) GTEST_SKIP() << "root-level conflict";
+  util::CancelToken token;
+  const util::Deadline deadline(0.0, &token);
+  std::size_t models = 0;
+  const Result r = s.enumerate(
+      [&](const cnf::Assignment& model) {
+        EXPECT_TRUE(f.satisfied_by(model));
+        if (++models == 3) token.cancel();
+        return true;  // never stop voluntarily — only the token may
+      },
+      {}, &deadline);
+  EXPECT_EQ(r, Result::kUnknown);
+  // The poll rides the decisions+propagations counter, so a few hundred
+  // cheap models can land between the cancel and the next poll — but
+  // the session must stop within one poll interval, not run forever.
+  EXPECT_GE(models, 3u);
+  EXPECT_LT(models, 100000u);
+  // The solver must come back reusable after the interrupted session.
+  token.reset();
+  EXPECT_NE(s.solve(), Result::kUnknown);
+}
+
+TEST(SolverCancel, TokenCancelledMidInprocessSkipsRemainingWork) {
+  // A pre-cancelled token makes every pass skip its per-item work:
+  // inprocess() still succeeds (any prefix of simplifications is sound)
+  // but must not simplify anything, and the solver stays usable.
+  CnfFormula f(4);
+  f.add_clause({pos(0), pos(1)});
+  f.add_clause({pos(0), pos(1), pos(2)});
+  f.add_clause({neg(1), pos(2)});
+  f.add_clause({neg(1), pos(3)});
+  Solver s;
+  ASSERT_TRUE(s.add_formula(f));
+  util::CancelToken token;
+  token.cancel();
+  InprocessOptions opts;
+  opts.cancel = &token;
+  ASSERT_TRUE(s.inprocess(opts));
+  EXPECT_EQ(s.stats().subsumed_clauses, 0u);
+  EXPECT_EQ(s.stats().eliminated_vars, 0u);
+  EXPECT_EQ(s.stats().vivified_literals, 0u);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(f.satisfied_by(s.model()));
+
+  // Uncancelled, the same solver simplifies: proof the skip above came
+  // from the token, not from having nothing to do.
+  token.reset();
+  ASSERT_TRUE(s.inprocess(opts));
+  EXPECT_GT(s.stats().subsumed_clauses + s.stats().eliminated_vars, 0u);
+}
+
 TEST(Solver, ReserveVarsAllocatesContiguousBlock) {
   Solver s;
   EXPECT_EQ(s.reserve_vars(10), 0);
